@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build vet test race bench experiments examples cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/transport ./internal/session .
+
+bench:
+	go test -run XXXNONE -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/experiments
+
+examples:
+	@for ex in quickstart coauthoring atc conference mobilefield mediaspace shareddraw; do \
+		echo "== examples/$$ex =="; go run ./examples/$$ex || exit 1; echo; \
+	done
+
+cover:
+	go test -cover ./internal/...

@@ -1,0 +1,65 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md §3: each iteration regenerates
+// the experiment's full result table over the virtual-time simulator, so
+// ns/op is the cost of reproducing that figure, and the suite doubles as a
+// macro-benchmark of the whole middleware stack. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"repro/internal/exps"
+)
+
+func benchExperiment(b *testing.B, run func(seed int64) exps.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := run(int64(i + 1))
+		if len(tb.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkF1SpaceTimeMatrix regenerates Figure 1 (space-time matrix
+// latencies and the seamless-transition cost).
+func BenchmarkF1SpaceTimeMatrix(b *testing.B) { benchExperiment(b, exps.RunF1SpaceTime) }
+
+// BenchmarkF2WallsVsFlow regenerates Figure 2 (serialisable walls vs
+// cooperative information flow).
+func BenchmarkF2WallsVsFlow(b *testing.B) { benchExperiment(b, exps.RunF2WallsVsFlow) }
+
+// BenchmarkE3LockGranularity regenerates the lock-granularity sweep.
+func BenchmarkE3LockGranularity(b *testing.B) { benchExperiment(b, exps.RunE3Granularity) }
+
+// BenchmarkE4ConcurrencyMechanisms regenerates the six-mechanism
+// concurrency-control comparison.
+func BenchmarkE4ConcurrencyMechanisms(b *testing.B) { benchExperiment(b, exps.RunE4Mechanisms) }
+
+// BenchmarkE5AccessControl regenerates the access-control comparison.
+func BenchmarkE5AccessControl(b *testing.B) { benchExperiment(b, exps.RunE5Access) }
+
+// BenchmarkE6StreamQoS regenerates the continuous-media QoS suite.
+func BenchmarkE6StreamQoS(b *testing.B) { benchExperiment(b, exps.RunE6StreamQoS) }
+
+// BenchmarkE7GroupCommunication regenerates the multicast-ordering and
+// group-RPC measurements.
+func BenchmarkE7GroupCommunication(b *testing.B) { benchExperiment(b, exps.RunE7Groups) }
+
+// BenchmarkE8Placement regenerates the placement/migration comparison.
+func BenchmarkE8Placement(b *testing.B) { benchExperiment(b, exps.RunE8Placement) }
+
+// BenchmarkE9Mobility regenerates the disconnected-operation suite.
+func BenchmarkE9Mobility(b *testing.B) { benchExperiment(b, exps.RunE9Mobility) }
+
+// BenchmarkE10WorkflowPrescriptiveness regenerates the workflow-model
+// comparison.
+func BenchmarkE10WorkflowPrescriptiveness(b *testing.B) { benchExperiment(b, exps.RunE10Workflow) }
+
+// BenchmarkA1AwarenessAblation regenerates the awareness-weighting
+// ablation.
+func BenchmarkA1AwarenessAblation(b *testing.B) { benchExperiment(b, exps.RunA1AwarenessAblation) }
+
+// BenchmarkA2HoardPolicies regenerates the hoard-policy ablation.
+func BenchmarkA2HoardPolicies(b *testing.B) { benchExperiment(b, exps.RunA2HoardPolicies) }

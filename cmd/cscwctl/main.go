@@ -1,0 +1,127 @@
+// Command cscwctl is the interactive client for cmd/sessiond: it joins a
+// TCP-hosted session, posts items from stdin, and prints items, presence
+// changes and mode switches as they arrive.
+//
+// Usage:
+//
+//	cscwctl -user alice [-host 127.0.0.1:7480]
+//
+// Stdin commands:
+//
+//	/poll           fetch items (asynchronous sessions)
+//	/away /back     change presence
+//	/leave          leave and exit
+//	anything else   posted as a chat item
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cscwctl", flag.ContinueOnError)
+	user := fs.String("user", "", "participant name (required)")
+	hostAddr := fs.String("host", "127.0.0.1:7480", "sessiond address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *user == "" {
+		return fmt.Errorf("cscwctl: -user is required")
+	}
+
+	book := transport.NewAddressBook()
+	book.Set("host", *hostAddr)
+	ep, err := transport.ListenTCP(*user, "127.0.0.1:0", book)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	var mu sync.Mutex
+	cli := session.NewClient(session.NewEndpointConduit(ep), "host")
+	cli.OnItem = func(it session.Item) {
+		fmt.Printf("[#%d %s] %s: %s\n", it.Seq, it.Kind, it.From, it.Body)
+	}
+	cli.OnMode = func(m session.Mode) {
+		fmt.Printf("-- session is now %s --\n", m)
+	}
+	cli.OnPresence = func(who string, p session.Presence) {
+		fmt.Printf("-- %s is %s --\n", who, p)
+	}
+	joined := make(chan struct{})
+	cli.OnJoined = func(m session.Mode, members []string) {
+		fmt.Printf("-- joined (%s mode); members: %s --\n", m, strings.Join(members, ", "))
+		close(joined)
+	}
+	ep.SetHandler(func(from string, data []byte) {
+		payload, err := session.DecodePayload(data)
+		if err != nil || payload == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		cli.Receive(from, payload)
+	})
+
+	// Introduce ourselves so the host can dial back, then join.
+	hello, err := transport.Marshal("hello", ep.Addr())
+	if err != nil {
+		return err
+	}
+	if err := ep.Send("host", hello); err != nil {
+		return fmt.Errorf("reach sessiond at %s: %w", *hostAddr, err)
+	}
+	mu.Lock()
+	err = cli.Join(0)
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-joined:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("join timed out")
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		mu.Lock()
+		switch {
+		case line == "":
+		case line == "/poll":
+			err = cli.Poll(0)
+		case line == "/away":
+			err = cli.SetPresence(session.Away, 0)
+		case line == "/back":
+			err = cli.SetPresence(session.Active, 0)
+		case line == "/leave":
+			err = cli.Leave(0)
+			mu.Unlock()
+			return err
+		default:
+			err = cli.Post("chat", line, 0)
+		}
+		mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+	return sc.Err()
+}

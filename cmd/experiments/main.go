@@ -1,0 +1,60 @@
+// Command experiments runs the full experiment suite (DESIGN.md §3) and
+// prints one result table per figure/claim of the paper. Output is
+// deterministic for a given -seed.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only F1,E4,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exps"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "experiment RNG seed")
+	only := fs.String("only", "", "comma-separated experiment IDs (default: all)")
+	format := fs.String("format", "table", "output format: table or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, e := range exps.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		table := e.Run(*seed)
+		if *format == "csv" {
+			fmt.Print(table.RenderCSV())
+		} else {
+			fmt.Println(table.Render())
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q", *only)
+	}
+	return nil
+}

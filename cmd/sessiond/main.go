@@ -1,0 +1,87 @@
+// Command sessiond hosts a CSCW session over TCP: participants join with
+// cmd/cscwctl, post items, poll, and receive synchronous pushes. The daemon
+// is the live-deployment face of the session layer the experiments exercise
+// over the simulator.
+//
+// Usage:
+//
+//	sessiond [-listen 127.0.0.1:7480] [-mode sync|async]
+//
+// Protocol: length-prefixed frames (internal/transport) carrying JSON
+// envelopes (internal/session wire tags). Clients register their own listen
+// address in their join item body? No — TCP replies reuse the address book:
+// clients pass their dialable address as the first frame via hello.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sessiond", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7480", "listen address")
+	modeFlag := fs.String("mode", "sync", "session mode: sync or async")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode := session.Synchronous
+	if *modeFlag == "async" {
+		mode = session.Asynchronous
+	}
+
+	book := transport.NewAddressBook()
+	ep, err := transport.ListenTCP("host", *listen, book)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	var mu sync.Mutex
+	start := time.Now()
+	host := session.NewHost(session.NewEndpointConduit(ep), mode, func() time.Duration {
+		return time.Since(start)
+	})
+	host.OnItem = func(it session.Item) {
+		log.Printf("item #%d from %s (%s): %s", it.Seq, it.From, it.Kind, it.Body)
+	}
+	ep.SetHandler(func(from string, data []byte) {
+		// A client's first frame is a hello envelope carrying its dialable
+		// address, so the host can push back to it.
+		env, err := transport.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if env.Type == "hello" {
+			var addr string
+			if err := transport.Decode(env, &addr); err == nil && addr != "" {
+				book.Set(from, addr)
+				log.Printf("hello from %s at %s", from, addr)
+			}
+			return
+		}
+		payload, err := session.DecodePayload(data)
+		if err != nil || payload == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		host.Receive(from, payload)
+	})
+
+	fmt.Printf("sessiond listening on %s (%s mode)\n", ep.Addr(), mode)
+	select {} // serve until killed
+}

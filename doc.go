@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of Blair & Rodden, "The
+// Challenges of CSCW for Open Distributed Processing" (1993): a CSCW
+// middleware for open distributed processing, together with the experiment
+// suite that quantifies every claim the paper makes qualitatively.
+//
+// The implementation lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory), runnable examples under examples/, and the
+// executables under cmd/. The benchmarks in bench_test.go regenerate each
+// figure/claim table; `go run ./cmd/experiments` prints them.
+package repro

@@ -1,0 +1,103 @@
+// Mobilefield: a utilities field engineer's day (the paper's MOST project
+// scenario, §3.3.3/§4.2.2) — hoard the day's jobs on the depot LAN, work
+// through radio patches and dead spots, reintegrate on reconnection, and
+// bulk-refresh the cache when the high-speed link returns.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/mobile"
+	"repro/internal/netsim"
+	"repro/internal/txn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The office job database.
+	office := txn.NewStore()
+	jobs := []string{"job/101", "job/102", "job/103", "job/104"}
+	for _, j := range jobs {
+		office.Set(j, "assigned to eng-7")
+	}
+	office.Set("map/grid-44", "substation layout v3")
+
+	eng := mobile.NewClient("eng-7", office, mobile.ServerWins)
+	eng.OnConflict = func(c mobile.Conflict) {
+		fmt.Printf("           CONFLICT on %s: field %q vs office %q — queued for manual repair\n",
+			c.Key, c.ClientValue, c.ServerValue)
+	}
+
+	clock := time.Duration(0)
+	at := func(d time.Duration, what string) {
+		clock = d
+		fmt.Printf("%8s  %s\n", clock, what)
+	}
+
+	// 08:00 depot LAN: hoard the day's working set.
+	at(0, "depot (full connection): hoarding today's jobs and the grid map")
+	eng.Hoard(append(jobs, "map/grid-44")...)
+
+	// 08:30 driving out: radio link.
+	at(30*time.Minute, "on the road (partial connection): reading job 101 over radio")
+	eng.SetLevel(netsim.Partial, clock)
+	v, err := eng.Read("job/101", clock)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("           job/101 = %q\n", v)
+
+	// 09:10 dead spot at the substation: disconnected operation.
+	at(70*time.Minute, "substation cellar (disconnected): working from the hoard")
+	eng.SetLevel(netsim.Disconnected, clock)
+	for _, step := range []struct{ key, val string }{
+		{"job/101", "in progress"},
+		{"job/101", "done: transformer inspected"},
+		{"job/102", "in progress"},
+	} {
+		if err := eng.Write(step.key, step.val, clock); err != nil {
+			return err
+		}
+		fmt.Printf("           wrote %s = %q (logged, %d pending)\n", step.key, step.val, eng.LogLen())
+	}
+	if v, err := eng.Read("job/103", clock); err == nil {
+		fmt.Printf("           hoarded read job/103 = %q\n", v)
+	}
+	if _, err := eng.Read("job/999", clock); err != nil {
+		fmt.Printf("           unhoarded job/999: %v\n", err)
+	}
+
+	// Meanwhile the office reassigns a job the engineer is holding edits
+	// for, and updates the map.
+	office.Set("job/102", "REASSIGNED to eng-3 (emergency)")
+	office.Set("map/grid-44", "substation layout v4")
+
+	// 11:00 hilltop: radio returns — reintegration.
+	at(3*time.Hour, "hilltop (partial connection): reintegrating the disconnected log")
+	conflicts := eng.SetLevel(netsim.Partial, clock)
+	fmt.Printf("           %d record(s) replayed, %d conflict(s)\n", eng.Stats().Replayed, len(conflicts))
+	if v, _ := office.Get("job/101"); v != "" {
+		fmt.Printf("           office now sees job/101 = %q\n", v)
+	}
+
+	// 17:00 back at the depot: full LAN — bulk update of stale cache.
+	at(9*time.Hour, "depot (full connection): bulk refresh of stale entries")
+	eng.SetLevel(netsim.Full, clock)
+	fmt.Printf("           bulk fetched %d stale entr(ies)\n", eng.Stats().BulkFetched)
+	eng.SetLevel(netsim.Disconnected, clock+time.Minute) // prove it's cached
+	if v, err := eng.Read("map/grid-44", clock+time.Minute); err == nil {
+		fmt.Printf("           offline read after bulk update: map/grid-44 = %q\n", v)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\nday's tally: %d local hits, %d remote reads, %d logged writes, %d conflicts, %d misses\n",
+		st.LocalHits, st.RemoteReads, st.LoggedWrites, st.Conflicts, st.Misses)
+	return nil
+}

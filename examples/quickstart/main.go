@@ -1,0 +1,79 @@
+// Quickstart: two users co-edit one document with operation transformation
+// — the paper's "operations proceed immediately to improve real-time
+// response time" (GROVE), in its provably convergent centrally-ordered
+// form. No network setup: everything runs in-process.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	srv := ot.NewServer("CSCW challenges ODP")
+	alice := ot.NewClient("alice", srv)
+	bob := ot.NewClient("bob", srv)
+	fmt.Printf("initial document: %q\n\n", srv.Text())
+
+	// Both edit *concurrently*, before seeing each other's changes:
+	// alice prepends "The ", bob appends " standards".
+	var wire []ot.Submission
+	for i, ch := range "The " {
+		sub, send, err := alice.Generate(ot.Op{Kind: ot.Insert, Pos: i, Ch: ch})
+		if err != nil {
+			return err
+		}
+		if send {
+			wire = append(wire, sub)
+		}
+	}
+	base := len([]rune("CSCW challenges ODP"))
+	for i, ch := range " standards" {
+		sub, send, err := bob.Generate(ot.Op{Kind: ot.Insert, Pos: base + i, Ch: ch})
+		if err != nil {
+			return err
+		}
+		if send {
+			wire = append(wire, sub)
+		}
+	}
+	fmt.Printf("alice sees (optimistic): %q\n", alice.Text())
+	fmt.Printf("bob   sees (optimistic): %q\n\n", bob.Text())
+
+	// The server integrates submissions in arrival order and fans commits
+	// out; acknowledgements release each client's buffered operations.
+	for len(wire) > 0 {
+		sub := wire[0]
+		wire = wire[1:]
+		cm, err := srv.Submit(sub.Op, sub.Base, sub.Site, sub.Seq)
+		if err != nil {
+			return err
+		}
+		for _, c := range []*ot.Client{alice, bob} {
+			next, send, err := c.Integrate(cm)
+			if err != nil {
+				return err
+			}
+			if send {
+				wire = append(wire, next)
+			}
+		}
+	}
+
+	fmt.Printf("server: %q\n", srv.Text())
+	fmt.Printf("alice:  %q\n", alice.Text())
+	fmt.Printf("bob:    %q\n", bob.Text())
+	if alice.Text() != srv.Text() || bob.Text() != srv.Text() {
+		return fmt.Errorf("divergence! this should be impossible")
+	}
+	fmt.Println("\nall three copies converged with zero editing latency at either user")
+	return nil
+}

@@ -1,0 +1,267 @@
+package repro
+
+// Cross-package integration tests: each one wires several subsystems
+// together the way the examples do, with assertions instead of narration.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/awareness"
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/mgmt"
+	"repro/internal/mobile"
+	"repro/internal/netsim"
+	"repro/internal/qos"
+	"repro/internal/rooms"
+	"repro/internal/stream"
+	"repro/internal/txn"
+	"repro/internal/workflow"
+)
+
+// TestKernelBindingAwareness verifies the paper's central design move end
+// to end: ODP binding activity is observable, and feeding it through the
+// awareness engine makes one user's service usage visible to a colleague at
+// the right weight — transparency selectively relaxed.
+func TestKernelBindingAwareness(t *testing.T) {
+	sim := netsim.New(5, netsim.LANLink)
+	for _, n := range []string{"server", "alice-ws", "bob-ws"} {
+		sim.MustAddNode(n)
+	}
+	mgr := mgmt.NewManager(sim, mgmt.FirstFit, 1)
+	if err := mgr.AddNode("server"); err != nil {
+		t.Fatal(err)
+	}
+	k := core.NewKernel(sim, mgr)
+
+	// Alice and Bob sit in the same section of the shared workspace.
+	space := awareness.NewSpace(awareness.Config{DisableTemporal: true, Threshold: 0.1})
+	space.Place(awareness.Entity{ID: "alice-ws", Pos: awareness.SectionPos(0), Aura: 10, Focus: 3, Nimbus: 3})
+	space.Place(awareness.Entity{ID: "bob-ws", Pos: awareness.SectionPos(1), Aura: 10, Focus: 3, Nimbus: 3})
+	engine := awareness.NewEngine(space)
+	var bobSees []string
+	engine.Subscribe("bob-ws", func(d awareness.Delivery) {
+		bobSees = append(bobSees, d.Event.Kind)
+	})
+	k.OnEvent = func(e core.Event) {
+		engine.Publish(awareness.Event{Actor: e.Client, Kind: e.Kind.String() + " " + e.Object, At: e.At})
+	}
+
+	if _, err := k.CreateObject("repo", nil); err != nil {
+		t.Fatal(err)
+	}
+	err := k.AddInterface("repo", core.Interface{
+		Name: "main", Type: "repo", QoS: qos.Params{Latency: time.Second, Jitter: time.Second},
+		Ops: map[string]core.Operation{
+			"checkout": func(caller, arg string) (string, error) { return "ok", nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Export("repo", "main"); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := k.Import("repo", qos.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Bind("alice-ws", offers[0], qos.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	b.Invoke("checkout", "trunk", func(res string, err error) {
+		if err != nil || res != "ok" {
+			t.Errorf("invoke = %q, %v", res, err)
+		}
+		done = true
+	})
+	sim.Run()
+	b.Unbind()
+	if !done {
+		t.Fatal("invocation never completed")
+	}
+	joined := strings.Join(bobSees, ";")
+	for _, want := range []string{"bound repo", "invoke repo", "reply repo", "unbound repo"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("bob missed %q in %q", want, joined)
+		}
+	}
+}
+
+// TestConferenceScenario runs the conference example's composition with
+// assertions: chaired floor control beside an adapting, lip-synced stream
+// binding, all on one simulator timeline.
+func TestConferenceScenario(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sim := netsim.New(11, netsim.Link{Latency: ms(8), Jitter: ms(3), Bandwidth: 48_000})
+	users := []string{"ann", "ben", "cho"}
+	fc, err := floor.NewController(floor.Chair, users, floor.Options{Chair: "ann"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.At(time.Second, func() {
+		if granted, err := fc.Request("ben", sim.Now()); err != nil || granted {
+			t.Errorf("chair policy should queue, got granted=%v err=%v", granted, err)
+		}
+	})
+	sim.At(2*time.Second, func() {
+		if err := fc.Grant("ann", "ben", sim.Now()); err != nil {
+			t.Error(err)
+		}
+	})
+
+	sim.MustAddNode("src")
+	sim.MustAddNode("rx1")
+	sim.MustAddNode("rx2")
+	tiers := []stream.Tier{
+		{Name: "hq", Interval: ms(20), Size: 320, Contract: qos.Params{Throughput: 12_000, Latency: ms(80), Jitter: ms(40), Loss: 0.05}},
+		{Name: "lq", Interval: ms(60), Size: 120, Contract: qos.Params{Throughput: 1_500, Latency: ms(250), Jitter: ms(150), Loss: 0.20}},
+	}
+	b, err := stream.Establish(sim, "src", []string{"rx1", "rx2"}, "audio", tiers, qos.Params{}, ms(60), ms(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.NewSyncGroup(b.Sinks()...)
+	b.Start()
+	sim.At(20*time.Second, func() {
+		for _, dst := range []string{"rx1", "rx2"} {
+			sim.SetLink("src", dst, netsim.Link{Latency: ms(120), Jitter: ms(70), Bandwidth: 2_500})
+		}
+	})
+	sim.At(40*time.Second, b.Stop)
+	sim.RunUntil(41 * time.Second)
+
+	if fc.Holder() != "ben" {
+		t.Errorf("holder = %q", fc.Holder())
+	}
+	if b.Stats().Renegotiations < 1 {
+		t.Error("binding never adapted to congestion")
+	}
+	if b.Tier() != 1 {
+		t.Errorf("tier = %d, want lq", b.Tier())
+	}
+	for i, s := range b.Sinks() {
+		if s.Stats().Played < 500 {
+			t.Errorf("sink %d played %d", i, s.Stats().Played)
+		}
+	}
+	if sk := stream.Skew(b.Sinks()[0], b.Sinks()[1]); sk > ms(60) {
+		t.Errorf("group sinks skew = %v", sk)
+	}
+}
+
+// TestFieldEngineerScenario threads workflow + access + mobile caching: a
+// procedural job completed offline, reintegrated, and visible to the
+// office, with roles deciding who may sign it off.
+func TestFieldEngineerScenario(t *testing.T) {
+	// Roles: engineers work, supervisors sign off.
+	sys := access.NewSystem(nil)
+	sys.DefineRole("engineer", access.Entry{Pattern: "job/*", Rights: access.Read | access.Write})
+	sys.DefineRole("supervisor", access.Entry{Pattern: "job/*", Rights: access.Read | access.Write | access.Grant})
+	sys.Assign("eng7", "engineer", 0)
+	sys.Assign("sup1", "supervisor", 0)
+
+	office := txn.NewStore()
+	office.Set("job/88", "open")
+	proc := workflow.Procedure{
+		Name: "maintenance",
+		Steps: []workflow.Step{
+			{Name: "travel", Role: "engineer"},
+			{Name: "repair", Role: "engineer"},
+			{Name: "signoff", Role: "supervisor"},
+		},
+	}
+	eng := workflow.NewProceduralEngine(proc, map[string]string{"eng7": "engineer", "sup1": "supervisor"})
+	if err := eng.Start("job/88"); err != nil {
+		t.Fatal(err)
+	}
+
+	c := mobile.NewClient("eng7", office, mobile.ServerWins)
+	c.Hoard("job/88")
+	c.SetLevel(netsim.Disconnected, 0)
+	// Offline: travel and repair, recording state in the cached job.
+	if err := eng.Complete("job/88", "eng7", "travel", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Check("eng7", "job/88", access.Write) {
+		t.Fatal("engineer should hold write")
+	}
+	if err := c.Write("job/88", "repaired, awaiting signoff", 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Complete("job/88", "eng7", "repair", 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// The engineer cannot sign off (wrong role) even offline.
+	if err := eng.Complete("job/88", "eng7", "signoff", 3*time.Minute); err == nil {
+		t.Fatal("engineer sign-off should be rejected")
+	}
+	// Reconnect: the office sees the repair note.
+	if conflicts := c.SetLevel(netsim.Partial, 4*time.Minute); len(conflicts) != 0 {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	if v, _ := office.Get("job/88"); v != "repaired, awaiting signoff" {
+		t.Fatalf("office sees %q", v)
+	}
+	// The supervisor signs off.
+	if err := eng.Complete("job/88", "sup1", "signoff", 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Done("job/88") {
+		t.Error("job should be complete")
+	}
+}
+
+// TestRoomsSessionDay composes rooms with the awareness engine: presence
+// follows people through spaces and a closed door actually silences them.
+func TestRoomsSessionDay(t *testing.T) {
+	space := awareness.NewSpace(awareness.Config{DisableTemporal: true, Threshold: 0.05})
+	house := rooms.NewHouse(space)
+	house.AddRoom("office", rooms.Office, "ann", awareness.Vec{X: 0})
+	house.AddRoom("lab", rooms.MeetingRoom, "", awareness.Vec{X: 1.5})
+	engine := awareness.NewEngine(space)
+	var benHears int
+	engine.Subscribe("ben", func(awareness.Delivery) { benHears++ })
+
+	if err := house.Enter("ann", "office", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := house.Enter("ben", "lab", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Door open: ben (one room over) hears ann.
+	engine.Publish(awareness.Event{Actor: "ann", Kind: "typing", At: time.Second})
+	if benHears != 1 {
+		t.Fatalf("benHears = %d with the door open", benHears)
+	}
+	// Door closed: nimbus zero, nothing leaks.
+	if err := house.SetDoor("ann", "office", rooms.Closed, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	engine.Publish(awareness.Event{Actor: "ann", Kind: "typing", At: 3 * time.Second})
+	if benHears != 1 {
+		t.Fatalf("benHears = %d after the door closed", benHears)
+	}
+	// Ben walks over, knocks, is admitted: same room, full awareness again.
+	if err := house.SetDoor("ann", "office", rooms.Ajar, 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := house.Knock("ben", "office", 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := house.Admit("ann", "ben", "office", 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := house.Enter("ben", "office", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(house.WhereIs("ben")); got != "office" {
+		t.Fatalf("ben is in %q", got)
+	}
+}

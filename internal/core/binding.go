@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/qos"
+	"repro/internal/stream"
+)
+
+// OpBinding is an explicit operational binding between a client node and an
+// exported interface. It is a first-class object: establish, invoke,
+// inspect, tear down — and every step is observable.
+type OpBinding struct {
+	kernel *Kernel
+	id     string
+	client string
+	offer  Offer
+	bound  bool
+	// Invocations counts completed invocations.
+	Invocations int
+}
+
+// Bind establishes an operational binding from clientNode to offer,
+// re-checking QoS compatibility against required at bind time (the offer
+// may be stale).
+func (k *Kernel) Bind(clientNode string, offer Offer, required qos.Params) (*OpBinding, error) {
+	if !offer.QoS.Satisfies(required) {
+		return nil, fmt.Errorf("%w: offer %s.%s", ErrIncompatible, offer.Object, offer.Interface)
+	}
+	if k.sim.Node(clientNode) == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNodeUnattached, clientNode)
+	}
+	if !k.nodes[clientNode] {
+		if err := k.AttachNode(clientNode); err != nil {
+			return nil, err
+		}
+	}
+	k.nextBnd++
+	b := &OpBinding{
+		kernel: k,
+		id:     fmt.Sprintf("binding-%d", k.nextBnd),
+		client: clientNode,
+		offer:  offer,
+		bound:  true,
+	}
+	k.emit(Event{Kind: EvBound, Binding: b.id, Client: clientNode, Object: offer.Object, At: k.sim.Now()})
+	return b, nil
+}
+
+// ID returns the binding identifier.
+func (b *OpBinding) ID() string { return b.id }
+
+// Offer returns the bound offer.
+func (b *OpBinding) Offer() Offer { return b.offer }
+
+// Invoke calls op(arg) through the binding. done receives the result when
+// the reply arrives; the invocation travels the simulated network both
+// ways, so placement and links determine the observed latency.
+func (b *OpBinding) Invoke(op, arg string, done func(result string, err error)) error {
+	if !b.bound {
+		return ErrUnbound
+	}
+	k := b.kernel
+	serverNode, err := k.NodeOf(b.offer.Object)
+	if err != nil {
+		return err
+	}
+	k.nextInv++
+	id := k.nextInv
+	k.pending[id] = &pendingInv{
+		cb: func(res string, err error) {
+			b.Invocations++
+			done(res, err)
+		},
+		binding: b.id, client: b.client, object: b.offer.Object, op: op,
+	}
+	k.emit(Event{Kind: EvInvoke, Binding: b.id, Client: b.client, Object: b.offer.Object, Op: op, At: k.sim.Now()})
+	msg := &invokeMsg{ID: id, Object: b.offer.Object, Iface: b.offer.Interface, Op: op, Caller: b.client, Arg: arg}
+	return k.sim.Node(b.client).Send(serverNode, msg, len(arg)+48)
+}
+
+// Unbind tears the binding down.
+func (b *OpBinding) Unbind() {
+	if !b.bound {
+		return
+	}
+	b.bound = false
+	b.kernel.emit(Event{Kind: EvUnbound, Binding: b.id, Client: b.client, Object: b.offer.Object, At: b.kernel.sim.Now()})
+}
+
+// GroupBinding is a one-to-many operational binding: group invocation per
+// §4.2.2.iv ("if a group of cameras are to be started simultaneously").
+type GroupBinding struct {
+	members []*OpBinding
+}
+
+// BindGroup establishes bindings to every offer.
+func (k *Kernel) BindGroup(clientNode string, offers []Offer, required qos.Params) (*GroupBinding, error) {
+	if len(offers) == 0 {
+		return nil, ErrNoOffers
+	}
+	g := &GroupBinding{}
+	for _, off := range offers {
+		b, err := k.Bind(clientNode, off, required)
+		if err != nil {
+			for _, m := range g.members {
+				m.Unbind()
+			}
+			return nil, err
+		}
+		g.members = append(g.members, b)
+	}
+	return g, nil
+}
+
+// GroupReply is one member's response to a group invocation.
+type GroupReply struct {
+	Object string
+	Result string
+	Err    error
+}
+
+// InvokeAll invokes op(arg) on every member; done fires once with all
+// replies when the last arrives.
+func (g *GroupBinding) InvokeAll(op, arg string, done func([]GroupReply)) error {
+	replies := make([]GroupReply, 0, len(g.members))
+	need := len(g.members)
+	for _, m := range g.members {
+		obj := m.offer.Object
+		err := m.Invoke(op, arg, func(res string, err error) {
+			replies = append(replies, GroupReply{Object: obj, Result: res, Err: err})
+			if len(replies) == need {
+				done(replies)
+			}
+		})
+		if err != nil {
+			// A member whose send fails outright still counts as replied,
+			// with the error, so done always fires.
+			replies = append(replies, GroupReply{Object: obj, Err: err})
+			if len(replies) == need {
+				done(replies)
+			}
+		}
+	}
+	return nil
+}
+
+// Unbind tears down every member binding.
+func (g *GroupBinding) Unbind() {
+	for _, m := range g.members {
+		m.Unbind()
+	}
+}
+
+// Size returns the number of member bindings.
+func (g *GroupBinding) Size() int { return len(g.members) }
+
+// BindStream establishes a QoS-managed stream binding from the node hosting
+// a source object to sink nodes — the kernel face of package stream's
+// Establish, so applications acquire streams the same way they acquire
+// operational bindings.
+func (k *Kernel) BindStream(srcObj string, sinkNodes []string, media string,
+	tiers []stream.Tier, required qos.Params, bufDepth, window time.Duration) (*stream.Binding, error) {
+	node, err := k.NodeOf(srcObj)
+	if err != nil {
+		return nil, err
+	}
+	return stream.Establish(k.sim, node, sinkNodes, media, tiers, required, bufDepth, window)
+}

@@ -1,0 +1,88 @@
+package exps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mobile"
+	"repro/internal/netsim"
+	"repro/internal/txn"
+)
+
+// RunA2HoardPolicies ablates hoard-set selection against disconnected
+// availability (DESIGN.md §4): an explicit hoard of the day's planned jobs,
+// incidental caching from whatever was browsed beforehand, and an
+// LRU-capped cache modelling a small portable disk.
+func RunA2HoardPolicies(seed int64) Table {
+	t := Table{
+		ID:      "A2",
+		Title:   "hoard-policy ablation: explicit vs incidental vs LRU-capped",
+		Claim:   "explicit hoarding of the planned working set dominates incidental caching; an LRU cap silently evicts exactly the jobs browsed first",
+		Columns: []string{"policy", "cache before disconnect", "day's jobs readable", "availability"},
+	}
+	const (
+		jobs    = 20 // today's planned work
+		browsed = 8  // jobs the engineer happened to open at the depot
+	)
+	key := func(i int) string { return fmt.Sprintf("job/%02d", i) }
+	newServer := func() *txn.Store {
+		s := txn.NewStore()
+		for i := 0; i < jobs; i++ {
+			s.Set(key(i), "details")
+		}
+		return s
+	}
+	day := func(c *mobile.Client) (ok int) {
+		c.SetLevel(netsim.Disconnected, time.Hour)
+		for i := 0; i < jobs; i++ {
+			if _, err := c.Read(key(i), time.Hour); err == nil {
+				ok++
+			}
+		}
+		return ok
+	}
+
+	// Explicit hoard of the whole plan.
+	{
+		c := mobile.NewClient("eng", newServer(), mobile.ServerWins)
+		for i := 0; i < jobs; i++ {
+			c.Hoard(key(i))
+		}
+		ok := day(c)
+		t.Rows = append(t.Rows, []string{
+			"explicit hoard (whole plan)", fmt.Sprintf("%d entries", jobs),
+			fmt.Sprintf("%d/%d", ok, jobs), fmtPct(float64(ok) / jobs),
+		})
+	}
+	// Incidental: only what was browsed caches.
+	{
+		c := mobile.NewClient("eng", newServer(), mobile.ServerWins)
+		for i := 0; i < browsed; i++ {
+			_, _ = c.Read(key(i), 0)
+		}
+		ok := day(c)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("incidental (browsed %d of %d)", browsed, jobs),
+			fmt.Sprintf("%d entries", c.CacheLen()),
+			fmt.Sprintf("%d/%d", ok, jobs), fmtPct(float64(ok) / jobs),
+		})
+	}
+	// Explicit hoard but an LRU cap half the plan size: the cap evicts the
+	// first-hoarded half as the second half streams in.
+	{
+		c := mobile.NewClient("eng", newServer(), mobile.ServerWins)
+		c.SetCacheLimit(jobs / 2)
+		for i := 0; i < jobs; i++ {
+			c.Hoard(key(i))
+		}
+		ok := day(c)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("explicit hoard, LRU cap %d", jobs/2),
+			fmt.Sprintf("%d entries", c.CacheLen()),
+			fmt.Sprintf("%d/%d", ok, jobs), fmtPct(float64(ok) / jobs),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the LRU row is the quiet failure mode: the hoard *command* succeeded but the cap undid half of it")
+	return t
+}

@@ -1,0 +1,118 @@
+package exps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mgmt"
+	"repro/internal/netsim"
+	"repro/internal/qos"
+
+	"repro/internal/core"
+)
+
+// RunE8Placement compares placement policies for a group-shared object
+// across dispersed sites (§4.2.1 "Management"), then shifts the usage
+// pattern and shows migration recovering the group-aware configuration.
+func RunE8Placement(seed int64) Table {
+	t := Table{
+		ID:      "E8",
+		Title:   "object placement and migration for dispersed groups",
+		Claim:   "group-aware placement minimises the worst member's response time; migration recovers it after the pattern of use shifts",
+		Columns: []string{"policy", "phase", "worst member RTT", "mean member RTT", "migrations"},
+	}
+	for _, p := range []mgmt.Policy{mgmt.FirstFit, mgmt.Random, mgmt.GroupAware} {
+		rows := runPlacement(seed, p)
+		t.Rows = append(t.Rows, rows...)
+	}
+	t.Notes = append(t.Notes,
+		"sites: London x2, New York, Sydney; phase 1 group = {lon1, lon2, nyc}; phase 2 group = {nyc, syd}",
+		"RTTs measured by real kernel invocations through the placed object")
+	return t
+}
+
+func placementWorld(seed int64, policy mgmt.Policy) (*netsim.Sim, *mgmt.Manager, *core.Kernel) {
+	sim := netsim.New(seed, netsim.LANLink)
+	lat := map[[2]string]time.Duration{
+		{"lon1", "lon2"}: 1 * time.Millisecond,
+		{"lon1", "nyc"}:  35 * time.Millisecond,
+		{"lon2", "nyc"}:  35 * time.Millisecond,
+		{"lon1", "syd"}:  150 * time.Millisecond,
+		{"lon2", "syd"}:  150 * time.Millisecond,
+		{"nyc", "syd"}:   100 * time.Millisecond,
+	}
+	nodes := []string{"lon1", "lon2", "nyc", "syd"}
+	for _, n := range nodes {
+		sim.MustAddNode(n)
+	}
+	for pair, l := range lat {
+		sim.SetBiLink(pair[0], pair[1], netsim.Link{Latency: l})
+	}
+	mgr := mgmt.NewManager(sim, policy, seed)
+	for _, n := range nodes {
+		_ = mgr.AddNode(n)
+	}
+	k := core.NewKernel(sim, mgr)
+	for _, n := range nodes {
+		_ = k.AttachNode(n)
+	}
+	return sim, mgr, k
+}
+
+// measureRTTs invokes the object once from each group site and returns
+// worst and mean invocation round trips.
+func measureRTTs(sim *netsim.Sim, k *core.Kernel, group []string) (worst, mean time.Duration) {
+	offers, err := k.Import("board", qos.Params{})
+	if err != nil {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, site := range group {
+		b, err := k.Bind(site, offers[0], qos.Params{})
+		if err != nil {
+			continue
+		}
+		start := sim.Now()
+		var rtt time.Duration
+		_ = b.Invoke("get", "", func(string, error) { rtt = sim.Now() - start })
+		sim.Run()
+		if rtt > worst {
+			worst = rtt
+		}
+		sum += rtt
+		b.Unbind()
+	}
+	mean = sum / time.Duration(len(group))
+	return worst, mean
+}
+
+func runPlacement(seed int64, policy mgmt.Policy) [][]string {
+	sim, mgr, k := placementWorld(seed, policy)
+	phase1 := []string{"lon1", "lon2", "nyc"}
+	phase2 := []string{"nyc", "syd"}
+	expected := map[string]int{"lon1": 10, "lon2": 10, "nyc": 10}
+	if _, err := k.CreateObject("board", expected); err != nil {
+		return [][]string{{policy.String(), "error", err.Error(), "-", "-"}}
+	}
+	_ = k.AddInterface("board", core.Interface{
+		Name: "main", Type: "board", QoS: qos.Params{Latency: time.Second, Jitter: time.Second},
+		Ops: map[string]core.Operation{
+			"get": func(caller, arg string) (string, error) { return "state", nil },
+		},
+	})
+	_ = k.Export("board", "main")
+
+	var rows [][]string
+	w1, m1 := measureRTTs(sim, k, phase1)
+	rows = append(rows, []string{policy.String(), "phase 1 (lon+nyc group)", fmtDur(w1), fmtDur(m1), "0"})
+
+	// Usage shifts to the phase-2 group; the manager observes and rebalances.
+	mgr.ResetUsage("cluster:board")
+	for _, s := range phase2 {
+		_ = mgr.RecordAccess("cluster:board", s, 100)
+	}
+	migs := mgr.Rebalance(5 * time.Millisecond)
+	w2, m2 := measureRTTs(sim, k, phase2)
+	rows = append(rows, []string{policy.String(), "phase 2 (nyc+syd group)", fmtDur(w2), fmtDur(m2), fmt.Sprintf("%d", len(migs))})
+	return rows
+}

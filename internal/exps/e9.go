@@ -1,0 +1,149 @@
+package exps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mobile"
+	"repro/internal/netsim"
+	"repro/internal/txn"
+)
+
+// RunE9Mobility drives a field engineer's day (connection phases from full
+// office LAN through radio patches to dead spots) against the mobile
+// caching layer, sweeping hoard coverage and disconnection length.
+func RunE9Mobility(seed int64) Table {
+	t := Table{
+		ID:      "E9",
+		Title:   "disconnected operation: hoarding, reintegration, bulk update",
+		Claim:   "availability while disconnected tracks hoard coverage; conflicts grow with disconnection length and sharing; full connection triggers bulk refresh",
+		Columns: []string{"scenario", "reads ok", "misses", "conflicts", "bulk fetched", "detail"},
+	}
+
+	// -- Hoard coverage sweep. --
+	for _, coverage := range []int{0, 25, 50, 100} {
+		row := runHoardSweep(seed, coverage)
+		t.Rows = append(t.Rows, row)
+	}
+
+	// -- Conflict growth with disconnection length (office writes
+	// concurrently at a fixed rate). --
+	for _, phases := range []int{1, 4, 8} {
+		row := runConflictGrowth(seed, phases)
+		t.Rows = append(t.Rows, row)
+	}
+
+	// -- Level transitions and bulk update on the full trace. --
+	t.Rows = append(t.Rows, runFieldDay(seed))
+	t.Notes = append(t.Notes,
+		"working set: 40 job records; office updates 2 records per disconnected phase",
+		"reintegration is server-wins: conflicting field updates are surfaced for manual repair, as in Coda")
+	return t
+}
+
+func e9Store(n int) *txn.Store {
+	s := txn.NewStore()
+	for i := 0; i < n; i++ {
+		s.Set(fmt.Sprintf("job/%02d", i), "pending")
+	}
+	return s
+}
+
+func runHoardSweep(seed int64, coveragePct int) []string {
+	const jobs = 40
+	srv := e9Store(jobs)
+	c := mobile.NewClient("eng", srv, mobile.ServerWins)
+	hoardN := jobs * coveragePct / 100
+	for i := 0; i < hoardN; i++ {
+		c.Hoard(fmt.Sprintf("job/%02d", i))
+	}
+	c.SetLevel(netsim.Disconnected, 0)
+	ok, miss := 0, 0
+	for i := 0; i < jobs; i++ {
+		if _, err := c.Read(fmt.Sprintf("job/%02d", i), time.Minute); err == nil {
+			ok++
+		} else {
+			miss++
+		}
+	}
+	return []string{
+		fmt.Sprintf("hoard %d%% of working set", coveragePct),
+		fmt.Sprintf("%d/%d", ok, jobs), fmt.Sprintf("%d", miss), "-", "-",
+		fmtPct(float64(ok) / jobs),
+	}
+}
+
+func runConflictGrowth(seed int64, phases int) []string {
+	const jobs = 40
+	srv := e9Store(jobs)
+	c := mobile.NewClient("eng", srv, mobile.ServerWins)
+	for i := 0; i < jobs; i++ {
+		c.Hoard(fmt.Sprintf("job/%02d", i))
+	}
+	totalConflicts := 0
+	now := time.Duration(0)
+	writesPerPhase := 3
+	for p := 0; p < phases; p++ {
+		c.SetLevel(netsim.Disconnected, now)
+		// The engineer updates three jobs per disconnected phase...
+		for w := 0; w < writesPerPhase; w++ {
+			key := fmt.Sprintf("job/%02d", (p*writesPerPhase+w)%jobs)
+			c.Write(key, fmt.Sprintf("field-update-p%d", p), now)
+		}
+		// ...while the office touches two, one of them overlapping.
+		srv.Set(fmt.Sprintf("job/%02d", (p*writesPerPhase)%jobs), "office-update")
+		srv.Set(fmt.Sprintf("job/%02d", (p+20)%jobs), "office-other")
+		now += 30 * time.Minute
+		conflicts := c.SetLevel(netsim.Partial, now)
+		totalConflicts += len(conflicts)
+	}
+	st := c.Stats()
+	return []string{
+		fmt.Sprintf("%d disconnected phases (30m each)", phases),
+		"-", "-",
+		fmt.Sprintf("%d", totalConflicts),
+		"-",
+		fmt.Sprintf("%d logged writes, %d replayed", st.LoggedWrites, st.Replayed),
+	}
+}
+
+func runFieldDay(seed int64) []string {
+	const jobs = 40
+	srv := e9Store(jobs)
+	c := mobile.NewClient("eng", srv, mobile.ServerWins)
+	for i := 0; i < 20; i++ {
+		c.Hoard(fmt.Sprintf("job/%02d", i))
+	}
+	now := time.Duration(0)
+	conflicts := 0
+	// Morning: full LAN at the depot.
+	c.SetLevel(netsim.Full, now)
+	// Drive out: radio patch.
+	now += time.Hour
+	c.SetLevel(netsim.Partial, now)
+	c.Write("job/01", "started", now)
+	// Dead spot: work offline.
+	now += time.Hour
+	c.SetLevel(netsim.Disconnected, now)
+	c.Write("job/01", "done", now)
+	c.Write("job/02", "started", now)
+	// Office reassigns a hoarded job meanwhile.
+	srv.Set("job/05", "reassigned to other crew")
+	// Radio again: reintegration.
+	now += 2 * time.Hour
+	conflicts += len(c.SetLevel(netsim.Partial, now))
+	// Back at the depot: full LAN, bulk refresh catches job/05.
+	now += 2 * time.Hour
+	conflicts += len(c.SetLevel(netsim.Full, now))
+	st := c.Stats()
+	// After bulk update, the stale hoarded entry must be fresh even offline.
+	c.SetLevel(netsim.Disconnected, now+time.Minute)
+	fresh, _ := c.Read("job/05", now+time.Minute)
+	return []string{
+		"field day (full->partial->dead->partial->full)",
+		"-", fmt.Sprintf("%d", st.Misses),
+		fmt.Sprintf("%d", conflicts),
+		fmt.Sprintf("%d", st.BulkFetched),
+		fmt.Sprintf("post-bulk offline read of reassigned job: %q", fresh),
+	}
+}

@@ -1,0 +1,139 @@
+package group
+
+import (
+	"sort"
+	"time"
+)
+
+// Detector is a heartbeat failure detector for one group member: it
+// multicasts heartbeats every Interval and suspects any view member from
+// whom nothing (heartbeat or data) has arrived for SuspectAfter. When the
+// detector's member is the view's lowest-ranked live process, it proposes a
+// new view excluding the suspects — the membership-maintenance half of the
+// virtual-synchrony story, driven entirely by the injected Timer so it runs
+// deterministically over netsim.
+type Detector struct {
+	m            *Member
+	timer        Timer
+	interval     time.Duration
+	suspectAfter time.Duration
+	lastHeard    map[string]time.Duration
+	now          func() time.Duration
+	running      bool
+	epoch        int
+	// OnSuspect observes suspicion decisions.
+	OnSuspect func(id string)
+	// Suspicions counts members suspected.
+	Suspicions int
+}
+
+// heartbeat is the detector's wire payload, multicast as ordinary data so
+// liveness information rides the same channel as everything else.
+const heartbeatBody = "\x00hb"
+
+// NewDetector creates a detector for member m. now supplies virtual time
+// (netsim.Sim.Now).
+func NewDetector(m *Member, timer Timer, now func() time.Duration, interval, suspectAfter time.Duration) *Detector {
+	return &Detector{
+		m:            m,
+		timer:        timer,
+		interval:     interval,
+		suspectAfter: suspectAfter,
+		lastHeard:    make(map[string]time.Duration),
+		now:          now,
+	}
+}
+
+// Heard records life from a peer; call it from the application's Deliver
+// callback (any delivered message counts) — the detector also calls it for
+// its own heartbeats.
+func (d *Detector) Heard(id string) {
+	d.lastHeard[id] = d.now()
+}
+
+// IsHeartbeat reports whether a delivery is detector traffic (applications
+// filter these out of their own processing).
+func IsHeartbeat(del Delivery) bool {
+	s, ok := del.Body.(string)
+	return ok && s == heartbeatBody
+}
+
+// Start begins heartbeating and monitoring.
+func (d *Detector) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.epoch++
+	for _, id := range d.m.View().Members {
+		d.lastHeard[id] = d.now()
+	}
+	d.tick(d.epoch)
+}
+
+// Stop halts the detector.
+func (d *Detector) Stop() { d.running = false; d.epoch++ }
+
+func (d *Detector) tick(epoch int) {
+	if !d.running || epoch != d.epoch {
+		return
+	}
+	// Heartbeat (ignore send errors: a partitioned member shows up as
+	// silence at the others, which is the point).
+	_ = d.m.Multicast(heartbeatBody, 8)
+	// Check for suspects.
+	now := d.now()
+	var suspects []string
+	for _, id := range d.m.View().Members {
+		if id == d.m.ID() {
+			continue
+		}
+		if now-d.lastHeard[id] >= d.suspectAfter {
+			suspects = append(suspects, id)
+		}
+	}
+	if len(suspects) > 0 {
+		d.Suspicions += len(suspects)
+		for _, s := range suspects {
+			if d.OnSuspect != nil {
+				d.OnSuspect(s)
+			}
+		}
+		if d.amCoordinator(suspects) {
+			d.proposeEviction(suspects)
+		}
+	}
+	d.timer.After(d.interval, func() { d.tick(epoch) })
+}
+
+// amCoordinator reports whether this member is the lowest-ranked process
+// not itself suspected.
+func (d *Detector) amCoordinator(suspects []string) bool {
+	bad := make(map[string]bool, len(suspects))
+	for _, s := range suspects {
+		bad[s] = true
+	}
+	for _, id := range d.m.View().Members {
+		if bad[id] {
+			continue
+		}
+		return id == d.m.ID()
+	}
+	return false
+}
+
+func (d *Detector) proposeEviction(suspects []string) {
+	bad := make(map[string]bool, len(suspects))
+	for _, s := range suspects {
+		bad[s] = true
+	}
+	var survivors []string
+	for _, id := range d.m.View().Members {
+		if !bad[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	sort.Strings(survivors)
+	next := NewView(d.m.View().ID+1, survivors)
+	_ = d.m.ProposeView(next)
+}

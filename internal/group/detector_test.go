@@ -1,0 +1,128 @@
+package group
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// detectorRig wires members plus detectors over netsim.
+func detectorRig(t *testing.T, n int) (*rig, map[string]*Detector) {
+	t.Helper()
+	r := newRig(t, n, FIFO, netsim.LANLink)
+	dets := make(map[string]*Detector, n)
+	for _, id := range r.ids {
+		m := r.members[id]
+		d := NewDetector(m, TimerFunc(func(dl time.Duration, fn func()) { r.sim.At(dl, fn) }),
+			r.sim.Now, time.Second, 3500*time.Millisecond)
+		dets[id] = d
+		// Wire liveness into delivery: reuse the rig's deliver slice but
+		// also feed the detector.
+		old := m.deliver
+		m.deliver = func(del Delivery) {
+			d.Heard(del.From)
+			if IsHeartbeat(del) {
+				return
+			}
+			old(del)
+		}
+	}
+	return r, dets
+}
+
+func TestDetectorNoFalsePositivesOnHealthyGroup(t *testing.T) {
+	r, dets := detectorRig(t, 3)
+	for _, d := range dets {
+		d.Start()
+	}
+	r.sim.RunUntil(10 * time.Second)
+	for id, d := range dets {
+		if d.Suspicions != 0 {
+			t.Errorf("%s suspected %d healthy peers", id, d.Suspicions)
+		}
+		d.Stop()
+	}
+	r.sim.Run()
+	// Heartbeats never reached the application layer.
+	for _, id := range r.ids {
+		for _, del := range r.deliv[id] {
+			if IsHeartbeat(del) {
+				t.Fatalf("%s saw a heartbeat in application traffic", id)
+			}
+		}
+	}
+}
+
+func TestDetectorEvictsPartitionedMember(t *testing.T) {
+	r, dets := detectorRig(t, 4)
+	for _, d := range dets {
+		d.Start()
+	}
+	r.sim.RunUntil(2 * time.Second)
+	// m03 drops off the network.
+	r.sim.Partition([]string{"m03"}, []string{"m00", "m01", "m02"})
+	r.sim.RunUntil(15 * time.Second)
+	for _, id := range []string{"m00", "m01", "m02"} {
+		v := r.members[id].View()
+		if v.Contains("m03") {
+			t.Errorf("%s still has m03 in view %d (%v)", id, v.ID, v.Members)
+		}
+		if len(v.Members) != 3 {
+			t.Errorf("%s view = %v", id, v.Members)
+		}
+	}
+	// Stop the detectors (heartbeats reschedule forever otherwise), then
+	// check the survivors can still multicast.
+	for _, d := range dets {
+		d.Stop()
+	}
+	r.members["m00"].Multicast("post-eviction", 10)
+	r.sim.Run()
+	found := 0
+	for _, id := range []string{"m00", "m01", "m02"} {
+		for _, d := range r.deliv[id] {
+			if d.Body == "post-eviction" {
+				found++
+			}
+		}
+	}
+	if found != 3 {
+		t.Errorf("post-eviction delivery count = %d", found)
+	}
+}
+
+func TestDetectorCoordinatorOnlyProposes(t *testing.T) {
+	r, dets := detectorRig(t, 3)
+	for _, d := range dets {
+		d.Start()
+	}
+	r.sim.RunUntil(2 * time.Second)
+	r.sim.Partition([]string{"m02"}, []string{"m00", "m01"})
+	r.sim.RunUntil(15 * time.Second)
+	// Only one view change should have happened (ID 2), not a storm.
+	for _, id := range []string{"m00", "m01"} {
+		if got := r.members[id].View().ID; got != 2 {
+			t.Errorf("%s view ID = %d, want exactly 2", id, got)
+		}
+	}
+	for _, d := range dets {
+		d.Stop()
+	}
+	r.sim.Run()
+}
+
+func TestDetectorStopQuiesces(t *testing.T) {
+	r, dets := detectorRig(t, 2)
+	for _, d := range dets {
+		d.Start()
+	}
+	r.sim.RunUntil(3 * time.Second)
+	for _, d := range dets {
+		d.Stop()
+	}
+	r.sim.Run() // must drain with no lingering timers
+	if r.sim.Pending() != 0 {
+		t.Errorf("pending events after stop = %d", r.sim.Pending())
+	}
+}

@@ -1,0 +1,179 @@
+// Package group implements process-group communication for CSCW sessions:
+// membership views, multicast with selectable ordering guarantees (FIFO,
+// causal, total) and group RPC ("group invocation" in the paper's ODP
+// terminology, §4.2.2.iv).
+//
+// The implementation is handler-driven and transport-agnostic: a Member
+// sends through a Conduit and receives via Member.Receive, so the same
+// protocol code runs over the deterministic netsim virtual network (for
+// experiments) and over real transports (for live sessions).
+//
+// Total order is provided by two interchangeable protocols — a fixed
+// sequencer and a circulating token — which experiment E7 ablates against
+// each other.
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Ordering selects the multicast delivery guarantee.
+type Ordering int
+
+const (
+	// Unordered delivers messages as they arrive.
+	Unordered Ordering = iota + 1
+	// FIFO delivers messages from each sender in send order.
+	FIFO
+	// Causal delivers messages respecting potential causality.
+	Causal
+	// TotalSequencer delivers all messages in one global order fixed by a
+	// sequencer member.
+	TotalSequencer
+	// TotalToken delivers all messages in one global order fixed by a
+	// circulating token.
+	TotalToken
+)
+
+// String returns the ordering name.
+func (o Ordering) String() string {
+	switch o {
+	case Unordered:
+		return "unordered"
+	case FIFO:
+		return "fifo"
+	case Causal:
+		return "causal"
+	case TotalSequencer:
+		return "total-sequencer"
+	case TotalToken:
+		return "total-token"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Errors returned by group operations.
+var (
+	ErrNotMember    = errors.New("group: not a member of current view")
+	ErrEmptyView    = errors.New("group: view has no members")
+	ErrRPCDeadline  = errors.New("group: rpc deadline exceeded")
+	ErrNoSuchCall   = errors.New("group: unknown rpc call")
+	ErrViewConflict = errors.New("group: conflicting view proposal in flight")
+)
+
+// Conduit is the outbound half of a transport. *netsim.Node satisfies it.
+type Conduit interface {
+	ID() string
+	Send(to string, payload any, size int) error
+}
+
+// Timer schedules a callback after a delay. Over netsim this is Sim.At; in
+// real time it can be wrapped around time.AfterFunc.
+type Timer interface {
+	After(d time.Duration, fn func())
+}
+
+// TimerFunc adapts a function to the Timer interface.
+type TimerFunc func(d time.Duration, fn func())
+
+// After implements Timer.
+func (f TimerFunc) After(d time.Duration, fn func()) { f(d, fn) }
+
+// View is a membership epoch: a numbered, sorted member list.
+type View struct {
+	ID      uint64
+	Members []string
+}
+
+// Contains reports whether id is in the view.
+func (v View) Contains(id string) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Sequencer returns the member responsible for total-order sequencing in
+// this view (the least member ID, so every member agrees without extra
+// communication).
+func (v View) Sequencer() string {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// NewView builds a view with the members sorted canonically.
+func NewView(id uint64, members []string) View {
+	ms := append([]string(nil), members...)
+	sort.Strings(ms)
+	return View{ID: id, Members: ms}
+}
+
+// Delivery is a multicast message handed to the application.
+type Delivery struct {
+	From   string
+	Body   any
+	Seq    uint64    // global sequence number (total orderings only)
+	VC     vclock.VC // causal timestamp (Causal ordering only)
+	ViewID uint64
+}
+
+// DeliverFunc consumes delivered messages in their final order.
+type DeliverFunc func(d Delivery)
+
+// ViewFunc observes installed view changes.
+type ViewFunc func(v View)
+
+// packet kinds on the wire.
+type kind int
+
+const (
+	kData kind = iota + 1
+	kOrder
+	kView
+	kRPCReq
+	kRPCRep
+	kToken
+	kTokenReq
+	kNack
+	kSync
+)
+
+// packet is the wire unit exchanged between members. Payloads travel as
+// in-memory values; transports that need bytes can wrap the conduit.
+type packet struct {
+	Kind   kind
+	From   string
+	ViewID uint64
+	// data
+	Body      any
+	Size      int
+	SenderSeq uint64    // per-sender sequence for FIFO
+	VC        vclock.VC // causal timestamp
+	MsgID     msgID     // identity for total-order pairing
+	GlobalSeq uint64    // total-order position (kOrder, or piggybacked)
+	// view change
+	NewView *View
+	// rpc
+	CallID  uint64
+	Op      string
+	IsError bool
+	ErrText string
+	// nack: the sender-sequence range [NackFrom, NackTo] being requested
+	NackFrom uint64
+	NackTo   uint64
+}
+
+type msgID struct {
+	Origin string
+	N      uint64
+}

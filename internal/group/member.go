@@ -1,0 +1,652 @@
+package group
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Member is one group endpoint. It is not safe for concurrent use by
+// multiple goroutines; over netsim all calls happen on the simulator
+// goroutine, and over real transports the caller must serialize access (the
+// session layer does).
+//
+// View installation assumes quiescence (no multicasts in flight), as in
+// primary-component virtual synchrony after flush; the experiment harnesses
+// install views between traffic phases.
+type Member struct {
+	id       string
+	conduit  Conduit
+	timer    Timer
+	ordering Ordering
+	deliver  DeliverFunc
+	onView   ViewFunc
+
+	view View
+
+	// FIFO state.
+	fifoSent uint64
+	fifoNext map[string]uint64
+	fifoHold map[string]map[uint64]*packet
+	// FIFO loss recovery (NACK-based): sent-packet retention for serving
+	// repairs, and the highest sequence already NACKed per sender to damp
+	// duplicate requests.
+	sentBuf map[uint64]*packet
+	nacked  map[string]uint64
+	knownHi map[string]uint64 // per-sender advertised high-water (tail-loss detection)
+	// Retransmissions counts repairs served to other members.
+	Retransmissions int
+
+	// Causal state.
+	vc         vclock.VC
+	causalSent uint64
+	causalHold []*packet
+
+	// Total-order state (shared by sequencer and token protocols).
+	msgCounter uint64
+	nextGlobal uint64
+	pendingMsg map[msgID]*packet // data waiting for an order assignment
+	orderOf    map[uint64]msgID  // global seq -> message identity
+	seqOf      map[msgID]uint64  // message identity -> global seq
+	seqNext    uint64            // next seq this sequencer/token will assign
+	hasToken   bool
+	tokenWait  []string        // pending token requesters, in request order
+	waitKnown  map[string]bool // dedup for tokenWait
+	outbox     []*packet       // token protocol: sends queued awaiting token
+
+	// RPC state.
+	callCounter uint64
+	handlers    map[string]HandlerFunc
+	calls       map[uint64]*pendingCall
+
+	// Metrics.
+	delivered uint64
+}
+
+// HandlerFunc services a group RPC operation.
+type HandlerFunc func(from string, body any) (any, error)
+
+// Reply is one member's response to a group RPC.
+type Reply struct {
+	From string
+	Body any
+	Err  error
+}
+
+// CallMode selects how many replies a group RPC waits for.
+type CallMode int
+
+const (
+	// WaitAll waits for a reply from every view member.
+	WaitAll CallMode = iota + 1
+	// WaitQuorum waits for a majority of view members.
+	WaitQuorum
+	// WaitFirst returns as soon as any member replies.
+	WaitFirst
+)
+
+type pendingCall struct {
+	mode     CallMode
+	need     int
+	replies  []Reply
+	done     bool
+	callback func([]Reply, error)
+}
+
+// Config configures a new member.
+type Config struct {
+	Conduit  Conduit
+	Timer    Timer
+	Ordering Ordering
+	Deliver  DeliverFunc
+	OnView   ViewFunc
+}
+
+// NewMember creates a group member. The member is inert until a view
+// containing it is installed.
+func NewMember(cfg Config) (*Member, error) {
+	if cfg.Conduit == nil {
+		return nil, fmt.Errorf("group: config needs a conduit")
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("group: config needs a deliver callback")
+	}
+	if cfg.Ordering == 0 {
+		cfg.Ordering = FIFO
+	}
+	m := &Member{
+		id:         cfg.Conduit.ID(),
+		conduit:    cfg.Conduit,
+		timer:      cfg.Timer,
+		ordering:   cfg.Ordering,
+		deliver:    cfg.Deliver,
+		onView:     cfg.OnView,
+		fifoNext:   make(map[string]uint64),
+		fifoHold:   make(map[string]map[uint64]*packet),
+		sentBuf:    make(map[uint64]*packet),
+		nacked:     make(map[string]uint64),
+		knownHi:    make(map[string]uint64),
+		vc:         vclock.New(),
+		pendingMsg: make(map[msgID]*packet),
+		orderOf:    make(map[uint64]msgID),
+		seqOf:      make(map[msgID]uint64),
+		waitKnown:  make(map[string]bool),
+		handlers:   make(map[string]HandlerFunc),
+		calls:      make(map[uint64]*pendingCall),
+	}
+	return m, nil
+}
+
+// ID returns the member identifier.
+func (m *Member) ID() string { return m.id }
+
+// View returns the currently installed view.
+func (m *Member) View() View { return m.view }
+
+// Delivered returns the count of messages delivered to the application.
+func (m *Member) Delivered() uint64 { return m.delivered }
+
+// Ordering returns the configured delivery ordering.
+func (m *Member) Ordering() Ordering { return m.ordering }
+
+// InstallView installs a membership view locally, resetting ordering state.
+func (m *Member) InstallView(v View) {
+	m.view = v
+	m.fifoSent = 0
+	m.fifoNext = make(map[string]uint64)
+	m.fifoHold = make(map[string]map[uint64]*packet)
+	m.sentBuf = make(map[uint64]*packet)
+	m.nacked = make(map[string]uint64)
+	m.knownHi = make(map[string]uint64)
+	m.vc = vclock.New()
+	m.causalSent = 0
+	m.causalHold = nil
+	m.nextGlobal = 1
+	m.seqNext = 1
+	m.pendingMsg = make(map[msgID]*packet)
+	m.orderOf = make(map[uint64]msgID)
+	m.seqOf = make(map[msgID]uint64)
+	m.outbox = nil
+	m.tokenWait = nil
+	m.waitKnown = make(map[string]bool)
+	m.hasToken = m.ordering == TotalToken && v.Sequencer() == m.id
+	if m.onView != nil {
+		m.onView(v)
+	}
+}
+
+// ProposeView multicasts a view to the union of old and new membership;
+// every receiver (including the proposer) installs it.
+func (m *Member) ProposeView(v View) error {
+	targets := map[string]bool{m.id: true}
+	for _, id := range m.view.Members {
+		targets[id] = true
+	}
+	for _, id := range v.Members {
+		targets[id] = true
+	}
+	pkt := &packet{Kind: kView, From: m.id, NewView: &v}
+	for id := range targets {
+		if err := m.conduit.Send(id, pkt, 64); err != nil {
+			return fmt.Errorf("propose view to %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Multicast sends body to every member of the current view (including the
+// caller) with the configured ordering guarantee. size is the payload size
+// hint for bandwidth accounting.
+func (m *Member) Multicast(body any, size int) error {
+	if !m.view.Contains(m.id) {
+		return ErrNotMember
+	}
+	pkt := &packet{Kind: kData, From: m.id, ViewID: m.view.ID, Body: body, Size: size}
+	switch m.ordering {
+	case FIFO:
+		m.fifoSent++
+		pkt.SenderSeq = m.fifoSent
+		m.sentBuf[pkt.SenderSeq] = pkt
+		// Bound retention: repairs reach back at most retainWindow sends.
+		if old := pkt.SenderSeq - retainWindow; old > 0 {
+			delete(m.sentBuf, old)
+		}
+	case Causal:
+		m.causalSent++
+		stamp := m.vc.Clone()
+		stamp[m.id] = m.causalSent
+		pkt.VC = stamp
+	case TotalSequencer:
+		m.msgCounter++
+		pkt.MsgID = msgID{Origin: m.id, N: m.msgCounter}
+	case TotalToken:
+		m.msgCounter++
+		pkt.MsgID = msgID{Origin: m.id, N: m.msgCounter}
+		if !m.hasToken {
+			m.outbox = append(m.outbox, pkt)
+			return m.requestToken()
+		}
+		pkt.GlobalSeq = m.seqNext
+		m.seqNext++
+	}
+	return m.sendToView(pkt)
+}
+
+func (m *Member) sendToView(pkt *packet) error {
+	for _, id := range m.view.Members {
+		if err := m.conduit.Send(id, pkt, pkt.Size+64); err != nil {
+			return fmt.Errorf("multicast to %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (m *Member) requestToken() error {
+	req := &packet{Kind: kTokenReq, From: m.id, ViewID: m.view.ID}
+	return m.sendToView(req)
+}
+
+// Receive ingests a packet from the transport. The transport owner wires
+// its handler to call this with the decoded payload.
+func (m *Member) Receive(from string, payload any) {
+	pkt, ok := payload.(*packet)
+	if !ok {
+		return // foreign traffic on a shared conduit; not ours
+	}
+	switch pkt.Kind {
+	case kView:
+		m.InstallView(*pkt.NewView)
+	case kData:
+		m.receiveData(pkt)
+	case kOrder:
+		m.receiveOrder(pkt)
+	case kToken:
+		m.receiveToken(pkt)
+	case kTokenReq:
+		m.receiveTokenReq(pkt)
+	case kNack:
+		m.receiveNack(pkt)
+	case kSync:
+		m.receiveSync(pkt)
+	case kRPCReq:
+		m.receiveRPCRequest(pkt)
+	case kRPCRep:
+		m.receiveRPCReply(pkt)
+	}
+}
+
+func (m *Member) emit(pkt *packet, seq uint64) {
+	m.delivered++
+	m.deliver(Delivery{From: pkt.From, Body: pkt.Body, Seq: seq, VC: pkt.VC, ViewID: pkt.ViewID})
+}
+
+func (m *Member) receiveData(pkt *packet) {
+	switch m.ordering {
+	case Unordered:
+		m.emit(pkt, 0)
+	case FIFO:
+		m.receiveFIFO(pkt)
+	case Causal:
+		m.receiveCausal(pkt)
+	case TotalSequencer:
+		if m.view.Sequencer() == m.id {
+			// Assign the next global sequence number and announce it.
+			if _, done := m.seqOf[pkt.MsgID]; !done {
+				order := &packet{Kind: kOrder, From: m.id, ViewID: m.view.ID, MsgID: pkt.MsgID, GlobalSeq: m.seqNext}
+				m.seqOf[pkt.MsgID] = m.seqNext
+				m.seqNext++
+				if err := m.sendToView(order); err != nil {
+					// Ordering announcements ride reliable sim links; a
+					// failure here means a partition, surfaced by stalled
+					// delivery which the experiments measure.
+					_ = err
+				}
+			}
+		}
+		m.pendingMsg[pkt.MsgID] = pkt
+		m.drainTotal()
+	case TotalToken:
+		m.pendingMsg[pkt.MsgID] = pkt
+		m.orderOf[pkt.GlobalSeq] = pkt.MsgID
+		m.drainTotal()
+	}
+}
+
+// retainWindow bounds the FIFO repair buffer per sender.
+const retainWindow = 512
+
+func (m *Member) receiveFIFO(pkt *packet) {
+	next, ok := m.fifoNext[pkt.From]
+	if !ok {
+		next = 1
+		m.fifoNext[pkt.From] = 1
+	}
+	if pkt.SenderSeq < next {
+		return // duplicate (possibly a repair that arrived twice)
+	}
+	hold := m.fifoHold[pkt.From]
+	if hold == nil {
+		hold = make(map[uint64]*packet)
+		m.fifoHold[pkt.From] = hold
+	}
+	hold[pkt.SenderSeq] = pkt
+	for {
+		p, ok := hold[m.fifoNext[pkt.From]]
+		if !ok {
+			break
+		}
+		delete(hold, m.fifoNext[pkt.From])
+		m.fifoNext[pkt.From]++
+		m.emit(p, 0)
+	}
+	// Loss recovery: an out-of-order arrival reveals a gap; NACK the
+	// missing range back to the sender (once per high-water mark, so a
+	// burst of held-back packets does not storm).
+	if pkt.From != m.id {
+		m.maybeNack(pkt.From)
+	}
+}
+
+// maybeNack requests the first missing run from sender if a gap exists and
+// that run has not already been requested. The run ends at the packet just
+// before the earliest held one, or — when nothing is held — at the sender's
+// advertised high-water mark (tail loss, learnt from SyncPoint). Later
+// holes are recovered progressively as earlier ones fill (or by
+// RequestRepair).
+func (m *Member) maybeNack(sender string) {
+	next := m.fifoNext[sender]
+	if next == 0 {
+		next = 1
+	}
+	var target uint64
+	if hold := m.fifoHold[sender]; len(hold) > 0 {
+		minHeld := uint64(0)
+		for seq := range hold {
+			if minHeld == 0 || seq < minHeld {
+				minHeld = seq
+			}
+		}
+		if minHeld <= next {
+			return
+		}
+		target = minHeld - 1
+	} else if hi := m.knownHi[sender]; hi >= next {
+		target = hi
+	} else {
+		return
+	}
+	if m.nacked[sender] >= target {
+		return
+	}
+	m.nacked[sender] = target
+	nack := &packet{Kind: kNack, From: m.id, ViewID: m.view.ID, NackFrom: next, NackTo: target}
+	if err := m.conduit.Send(sender, nack, 64); err != nil {
+		_ = err // a lost NACK is re-armed by the next out-of-order arrival
+	}
+}
+
+// SyncPoint advertises this member's FIFO send high-water mark to the view,
+// letting receivers detect and repair *tail* loss (a lost final message
+// reveals no gap by itself). Schedule it periodically over lossy links —
+// the failure detector's heartbeat interval is a natural carrier.
+func (m *Member) SyncPoint() error {
+	if m.ordering != FIFO || !m.view.Contains(m.id) {
+		return nil
+	}
+	pkt := &packet{Kind: kSync, From: m.id, ViewID: m.view.ID, SenderSeq: m.fifoSent}
+	return m.sendToView(pkt)
+}
+
+func (m *Member) receiveSync(pkt *packet) {
+	if pkt.From == m.id {
+		return
+	}
+	if pkt.SenderSeq > m.knownHi[pkt.From] {
+		m.knownHi[pkt.From] = pkt.SenderSeq
+	}
+	m.maybeNack(pkt.From)
+}
+
+// RequestRepair re-scans every sender's hold-back queue and NACKs any
+// outstanding gaps, ignoring the damping high-water mark. Schedule it on a
+// timer for sessions over lossy links (a lost NACK or a lost repair
+// otherwise only recovers when more traffic arrives).
+func (m *Member) RequestRepair() {
+	senders := make(map[string]bool, len(m.fifoHold)+len(m.knownHi))
+	for s := range m.fifoHold {
+		senders[s] = true
+	}
+	for s := range m.knownHi {
+		senders[s] = true
+	}
+	for sender := range senders {
+		if sender == m.id {
+			continue
+		}
+		m.nacked[sender] = 0
+		m.maybeNack(sender)
+	}
+}
+
+func (m *Member) receiveNack(pkt *packet) {
+	for seq := pkt.NackFrom; seq <= pkt.NackTo; seq++ {
+		p, ok := m.sentBuf[seq]
+		if !ok {
+			continue // aged out of the retention window
+		}
+		m.Retransmissions++
+		if err := m.conduit.Send(pkt.From, p, p.Size+64); err != nil {
+			_ = err
+		}
+	}
+}
+
+func (m *Member) receiveCausal(pkt *packet) {
+	m.causalHold = append(m.causalHold, pkt)
+	m.drainCausal()
+}
+
+func (m *Member) drainCausal() {
+	for {
+		progressed := false
+		for i, p := range m.causalHold {
+			if p == nil {
+				continue
+			}
+			if vclock.Deliverable(p.VC, p.From, m.vc) {
+				m.causalHold[i] = nil
+				m.vc.Merge(p.VC)
+				m.emit(p, 0)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Compact the hold-back queue.
+	live := m.causalHold[:0]
+	for _, p := range m.causalHold {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	m.causalHold = live
+}
+
+func (m *Member) receiveOrder(pkt *packet) {
+	m.orderOf[pkt.GlobalSeq] = pkt.MsgID
+	m.drainTotal()
+}
+
+func (m *Member) drainTotal() {
+	for {
+		id, ok := m.orderOf[m.nextGlobal]
+		if !ok {
+			return
+		}
+		p, ok := m.pendingMsg[id]
+		if !ok {
+			return
+		}
+		delete(m.orderOf, m.nextGlobal)
+		delete(m.pendingMsg, id)
+		seq := m.nextGlobal
+		m.nextGlobal++
+		m.emit(p, seq)
+	}
+}
+
+func (m *Member) receiveToken(pkt *packet) {
+	// Everyone tracks token movement so requester bookkeeping stays
+	// consistent; only the target becomes the holder.
+	target := pkt.Body.(string)
+	delete(m.waitKnown, target)
+	live := m.tokenWait[:0]
+	for _, w := range m.tokenWait {
+		if w != target {
+			live = append(live, w)
+		}
+	}
+	m.tokenWait = live
+	if target != m.id {
+		m.hasToken = false
+		return
+	}
+	m.hasToken = true
+	m.seqNext = pkt.GlobalSeq
+	m.drainOutbox()
+	m.maybePassToken()
+}
+
+func (m *Member) receiveTokenReq(pkt *packet) {
+	if pkt.From == m.id {
+		return
+	}
+	if !m.waitKnown[pkt.From] {
+		m.waitKnown[pkt.From] = true
+		m.tokenWait = append(m.tokenWait, pkt.From)
+	}
+	if m.hasToken {
+		m.maybePassToken()
+	}
+}
+
+func (m *Member) drainOutbox() {
+	for _, pkt := range m.outbox {
+		pkt.GlobalSeq = m.seqNext
+		m.seqNext++
+		if err := m.sendToView(pkt); err != nil {
+			_ = err // see receiveData: stalls surface in measurements
+		}
+	}
+	m.outbox = nil
+}
+
+func (m *Member) maybePassToken() {
+	if !m.hasToken || len(m.tokenWait) == 0 || len(m.outbox) > 0 {
+		return
+	}
+	next := m.tokenWait[0]
+	m.hasToken = false
+	tok := &packet{Kind: kToken, From: m.id, ViewID: m.view.ID, Body: next, GlobalSeq: m.seqNext}
+	if err := m.sendToView(tok); err != nil {
+		_ = err
+	}
+}
+
+// Handle registers an RPC handler for op.
+func (m *Member) Handle(op string, h HandlerFunc) {
+	m.handlers[op] = h
+}
+
+// CallOpts configures a group RPC.
+type CallOpts struct {
+	Mode     CallMode
+	Deadline time.Duration // 0 means no deadline (requires every reply to arrive)
+	Size     int
+}
+
+// Call invokes op with body on every member of the view (group invocation).
+// done is called exactly once: with the collected replies when the mode's
+// quota is met, or with the partial replies and ErrRPCDeadline if the
+// deadline passes first.
+func (m *Member) Call(op string, body any, opts CallOpts, done func([]Reply, error)) error {
+	if !m.view.Contains(m.id) {
+		return ErrNotMember
+	}
+	if len(m.view.Members) == 0 {
+		return ErrEmptyView
+	}
+	if opts.Mode == 0 {
+		opts.Mode = WaitAll
+	}
+	m.callCounter++
+	id := m.callCounter
+	need := len(m.view.Members)
+	switch opts.Mode {
+	case WaitQuorum:
+		need = len(m.view.Members)/2 + 1
+	case WaitFirst:
+		need = 1
+	}
+	pc := &pendingCall{mode: opts.Mode, need: need, callback: done}
+	m.calls[id] = pc
+	if opts.Deadline > 0 {
+		if m.timer == nil {
+			return fmt.Errorf("group: deadline requires a timer")
+		}
+		m.timer.After(opts.Deadline, func() {
+			c, ok := m.calls[id]
+			if !ok || c.done {
+				return
+			}
+			c.done = true
+			delete(m.calls, id)
+			c.callback(c.replies, ErrRPCDeadline)
+		})
+	}
+	req := &packet{Kind: kRPCReq, From: m.id, ViewID: m.view.ID, CallID: id, Op: op, Body: body, Size: opts.Size}
+	return m.sendToView(req)
+}
+
+func (m *Member) receiveRPCRequest(pkt *packet) {
+	h, ok := m.handlers[pkt.Op]
+	rep := &packet{Kind: kRPCRep, From: m.id, ViewID: pkt.ViewID, CallID: pkt.CallID}
+	if !ok {
+		rep.IsError = true
+		rep.ErrText = ErrNoSuchCall.Error() + ": " + pkt.Op
+	} else {
+		out, err := h(pkt.From, pkt.Body)
+		if err != nil {
+			rep.IsError = true
+			rep.ErrText = err.Error()
+		} else {
+			rep.Body = out
+		}
+	}
+	if err := m.conduit.Send(pkt.From, rep, 64); err != nil {
+		_ = err // caller's deadline covers lost replies
+	}
+}
+
+func (m *Member) receiveRPCReply(pkt *packet) {
+	pc, ok := m.calls[pkt.CallID]
+	if !ok || pc.done {
+		return
+	}
+	r := Reply{From: pkt.From, Body: pkt.Body}
+	if pkt.IsError {
+		r.Err = fmt.Errorf("%s: %s", pkt.From, pkt.ErrText)
+	}
+	pc.replies = append(pc.replies, r)
+	if len(pc.replies) >= pc.need {
+		pc.done = true
+		delete(m.calls, pkt.CallID)
+		// Deterministic reply order for callers that inspect replies.
+		sort.Slice(pc.replies, func(i, j int) bool { return pc.replies[i].From < pc.replies[j].From })
+		pc.callback(pc.replies, nil)
+	}
+}

@@ -1,0 +1,193 @@
+// Package locks implements the lock disciplines the paper surveys for
+// groupware concurrency control (§4.2.1):
+//
+//   - Pessimistic: strict two-phase-style shared/exclusive locks — the
+//     conventional baseline whose "walls" Figure 2a criticises.
+//   - Tickle locks (Greif & Sarin 1987): a requester "tickles" the holder;
+//     if the holder has been idle past a threshold the lock transfers
+//     immediately, otherwise the holder is warned and the requester queued.
+//   - Soft locks (Stefik et al., Colab/Cognoter 1987): purely advisory —
+//     access always proceeds, but conflicting parties are warned.
+//   - Notification locks (Hornick & Zdonik 1987): readers are never blocked;
+//     they register interest and are notified when the writer releases.
+//
+// Locks apply at any level of a granularity hierarchy (document / section /
+// paragraph / sentence / word); a lock on a node conflicts with locks on its
+// ancestors and descendants. Experiment E3 sweeps this hierarchy and E4
+// compares the disciplines.
+//
+// The manager is time-explicit: callers pass the current (virtual or real)
+// time into each operation, which keeps the package deterministic under
+// netsim and trivially testable.
+package locks
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Discipline selects the lock semantics.
+type Discipline int
+
+const (
+	// Pessimistic is conventional blocking shared/exclusive locking.
+	Pessimistic Discipline = iota + 1
+	// Tickle allows idle holders to be dispossessed.
+	Tickle
+	// Soft is advisory locking with conflict warnings.
+	Soft
+	// Notification never blocks readers and notifies them of changes.
+	Notification
+)
+
+// String returns the discipline name.
+func (d Discipline) String() string {
+	switch d {
+	case Pessimistic:
+		return "pessimistic"
+	case Tickle:
+		return "tickle"
+	case Soft:
+		return "soft"
+	case Notification:
+		return "notification"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Mode is the access mode requested.
+type Mode int
+
+const (
+	// Shared permits concurrent holders (read access).
+	Shared Mode = iota + 1
+	// Exclusive permits one holder (write access).
+	Exclusive
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "exclusive"
+}
+
+// Granularity names the levels of the document hierarchy used by the
+// experiments; a Path may have any depth, these are conventional labels.
+type Granularity int
+
+const (
+	// GrainDocument locks the whole document.
+	GrainDocument Granularity = iota + 1
+	// GrainSection locks one section.
+	GrainSection
+	// GrainParagraph locks one paragraph.
+	GrainParagraph
+	// GrainSentence locks one sentence.
+	GrainSentence
+	// GrainWord locks one word.
+	GrainWord
+)
+
+// String returns the granularity name.
+func (g Granularity) String() string {
+	switch g {
+	case GrainDocument:
+		return "document"
+	case GrainSection:
+		return "section"
+	case GrainParagraph:
+		return "paragraph"
+	case GrainSentence:
+		return "sentence"
+	case GrainWord:
+		return "word"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// Depth returns the path depth conventionally associated with the
+// granularity (document = 1 segment).
+func (g Granularity) Depth() int { return int(g) }
+
+// Path identifies a lockable resource as a position in the granularity
+// hierarchy, e.g. ["doc", "s2", "p4"].
+type Path []string
+
+// String joins the path with slashes.
+func (p Path) String() string { return strings.Join(p, "/") }
+
+// EventType classifies lock manager events delivered to observers.
+type EventType int
+
+const (
+	// EvGranted reports a lock grant.
+	EvGranted EventType = iota + 1
+	// EvQueued reports a request parked behind a conflicting holder.
+	EvQueued
+	// EvReleased reports a release.
+	EvReleased
+	// EvTickled warns an active holder that someone wants the lock.
+	EvTickled
+	// EvRevoked tells a holder its idle lock was transferred away.
+	EvRevoked
+	// EvConflictWarning warns both parties of a soft-lock overlap.
+	EvConflictWarning
+	// EvChanged notifies registered readers that the writer released.
+	EvChanged
+)
+
+// String returns the event type name.
+func (e EventType) String() string {
+	switch e {
+	case EvGranted:
+		return "granted"
+	case EvQueued:
+		return "queued"
+	case EvReleased:
+		return "released"
+	case EvTickled:
+		return "tickled"
+	case EvRevoked:
+		return "revoked"
+	case EvConflictWarning:
+		return "conflict-warning"
+	case EvChanged:
+		return "changed"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(e))
+	}
+}
+
+// Event is a lock manager notification. Who is the affected principal;
+// Other is the counterparty when relevant (the requester for EvTickled, the
+// conflicting holder for EvConflictWarning, the releasing writer for
+// EvChanged).
+type Event struct {
+	Type  EventType
+	Path  Path
+	Who   string
+	Other string
+	Mode  Mode
+	At    time.Duration
+}
+
+// Errors returned by the manager.
+var (
+	ErrNotHolder  = errors.New("locks: caller does not hold the lock")
+	ErrReentrant  = errors.New("locks: caller already holds or queued for the lock")
+	ErrBadRequest = errors.New("locks: invalid request")
+)
+
+// Result reports the outcome of an acquire.
+type Result struct {
+	Granted bool
+	Queued  bool
+	// Warned is set when a soft-lock acquire overlapped an existing holder.
+	Warned bool
+}

@@ -1,0 +1,197 @@
+// Package mobileip implements a Mobile-IP-style addressing mechanism for
+// mobile hosts over the simulated network, after Bhagwat & Perkins 1993 —
+// the "addressing mechanisms for mobile computers" the paper lists among
+// the technologies CSCW mobility support will rest on (§3.3.3).
+//
+// Model: every mobile host has a *home agent* on its home network.
+// Correspondents always send to the mobile's home address; when the mobile
+// is away, the home agent tunnels (re-addresses) each message to the
+// mobile's current *care-of* node, registered on every move. Replies go
+// direct — the classic triangle route whose latency penalty the tests
+// measure. A foreign-agent handoff re-registers the care-of address; in
+// flight messages tunneled to the old care-of node are lost unless the old
+// node still forwards (smooth handoff), exactly the trade-off real Mobile
+// IP faced.
+package mobileip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Errors returned by the agents.
+var (
+	ErrNotRegistered = errors.New("mobileip: mobile host not registered")
+	ErrUnknownHome   = errors.New("mobileip: no home agent for address")
+)
+
+// Payload wraps an application message with its mobile addressing metadata.
+type Payload struct {
+	Dest    string // the mobile's home address (its stable identity)
+	Origin  string // the correspondent that sent it
+	Body    any
+	Tunnel  bool // true once the home agent re-addressed it
+	HopTime time.Duration
+}
+
+// HomeAgent serves one home network node: it tracks the care-of address of
+// each mobile it is home to and tunnels traffic accordingly.
+type HomeAgent struct {
+	sim     *netsim.Sim
+	node    *netsim.Node
+	careOf  map[string]string // mobile home address -> current care-of node
+	forward map[string]string // old care-of -> new care-of (smooth handoff)
+	// Tunneled counts messages re-addressed to a care-of node.
+	Tunneled int
+	// Delivered counts messages handed to mobiles at home.
+	Delivered int
+}
+
+// NewHomeAgent installs a home agent on the given simulated node. The node
+// must not have another handler (the agent owns it).
+func NewHomeAgent(sim *netsim.Sim, nodeID string) (*HomeAgent, error) {
+	node := sim.Node(nodeID)
+	if node == nil {
+		return nil, fmt.Errorf("mobileip: %w %q", netsim.ErrUnknownNode, nodeID)
+	}
+	ha := &HomeAgent{
+		sim:     sim,
+		node:    node,
+		careOf:  make(map[string]string),
+		forward: make(map[string]string),
+	}
+	node.SetHandler(ha.receive)
+	return ha, nil
+}
+
+// Register records (or updates) a mobile's care-of node. Registering the
+// home node itself means the mobile is home.
+func (h *HomeAgent) Register(mobileAddr, careOfNode string) {
+	if old, ok := h.careOf[mobileAddr]; ok && old != careOfNode {
+		h.forward[old] = careOfNode
+	}
+	h.careOf[mobileAddr] = careOfNode
+}
+
+// Deregister removes a mobile (it powered off).
+func (h *HomeAgent) Deregister(mobileAddr string) {
+	delete(h.careOf, mobileAddr)
+}
+
+// CareOf returns the current care-of node for a mobile.
+func (h *HomeAgent) CareOf(mobileAddr string) (string, bool) {
+	c, ok := h.careOf[mobileAddr]
+	return c, ok
+}
+
+func (h *HomeAgent) receive(m netsim.Msg) {
+	p, ok := m.Payload.(*Payload)
+	if !ok {
+		return
+	}
+	care, ok := h.careOf[p.Dest]
+	if !ok {
+		return // unknown mobile: drop, like an ICMP unreachable
+	}
+	if care == h.node.ID() {
+		h.Delivered++
+		return // the mobile is home; nothing to do in this model
+	}
+	h.Tunneled++
+	fwd := *p
+	fwd.Tunnel = true
+	_ = h.node.Send(care, &fwd, m.Size)
+}
+
+// Mobile is a mobile host endpoint: a stable home address plus a current
+// point of attachment.
+type Mobile struct {
+	sim  *netsim.Sim
+	home *HomeAgent
+	addr string // home address (identity)
+	at   string // current attachment node
+	// OnMessage receives application payloads wherever the mobile is.
+	OnMessage func(p Payload, at string)
+	// Received counts delivered payloads.
+	Received int
+}
+
+// NewMobile creates a mobile host with the given stable address, initially
+// attached at its home agent's node.
+func NewMobile(sim *netsim.Sim, home *HomeAgent, addr string) *Mobile {
+	m := &Mobile{sim: sim, home: home, addr: addr, at: home.node.ID()}
+	home.Register(addr, home.node.ID())
+	return m
+}
+
+// Addr returns the mobile's stable home address.
+func (m *Mobile) Addr() string { return m.addr }
+
+// At returns the current attachment node.
+func (m *Mobile) At() string { return m.at }
+
+// AttachAt moves the mobile to a new point of attachment (a foreign node)
+// and registers the care-of address with the home agent. The foreign node's
+// handler is claimed for this mobile.
+func (m *Mobile) AttachAt(nodeID string) error {
+	node := m.sim.Node(nodeID)
+	if node == nil {
+		return fmt.Errorf("mobileip: %w %q", netsim.ErrUnknownNode, nodeID)
+	}
+	m.at = nodeID
+	node.SetHandler(func(msg netsim.Msg) {
+		p, ok := msg.Payload.(*Payload)
+		if !ok || p.Dest != m.addr {
+			return
+		}
+		m.Received++
+		if m.OnMessage != nil {
+			m.OnMessage(*p, m.at)
+		}
+	})
+	// Registration is itself a message to the home agent; model its latency
+	// by scheduling the binding after one one-way trip.
+	link := m.sim.LinkBetween(nodeID, m.home.node.ID())
+	m.sim.At(link.Latency, func() { m.home.Register(m.addr, nodeID) })
+	return nil
+}
+
+// Correspondent is a fixed host that talks to mobiles through their home
+// addresses — it never needs to know where they are (the paper's
+// transparency requirement for mobility).
+type Correspondent struct {
+	sim    *netsim.Sim
+	node   *netsim.Node
+	homeOf map[string]string // mobile home address -> home agent node
+	// Sent counts messages dispatched.
+	Sent int
+}
+
+// NewCorrespondent creates a correspondent on the given node with a routing
+// table of home agents.
+func NewCorrespondent(sim *netsim.Sim, nodeID string, homeOf map[string]string) (*Correspondent, error) {
+	node := sim.Node(nodeID)
+	if node == nil {
+		return nil, fmt.Errorf("mobileip: %w %q", netsim.ErrUnknownNode, nodeID)
+	}
+	cp := make(map[string]string, len(homeOf))
+	for k, v := range homeOf {
+		cp[k] = v
+	}
+	return &Correspondent{sim: sim, node: node, homeOf: cp}, nil
+}
+
+// Send dispatches body to a mobile's home address; the home agent handles
+// the rest.
+func (c *Correspondent) Send(mobileAddr string, body any, size int) error {
+	home, ok := c.homeOf[mobileAddr]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHome, mobileAddr)
+	}
+	c.Sent++
+	p := &Payload{Dest: mobileAddr, Origin: c.node.ID(), Body: body}
+	return c.node.Send(home, p, size)
+}

@@ -1,0 +1,189 @@
+package mobileip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// world: home network in London, foreign networks in Paris and Rome, a
+// correspondent in New York.
+func world(t *testing.T) (*netsim.Sim, *HomeAgent, *Mobile, *Correspondent) {
+	t.Helper()
+	sim := netsim.New(1, netsim.LANLink)
+	for _, n := range []string{"home", "paris", "rome", "nyc"} {
+		sim.MustAddNode(n)
+	}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sim.SetBiLink("nyc", "home", netsim.Link{Latency: ms(35)})
+	sim.SetBiLink("nyc", "paris", netsim.Link{Latency: ms(40)})
+	sim.SetBiLink("nyc", "rome", netsim.Link{Latency: ms(45)})
+	sim.SetBiLink("home", "paris", netsim.Link{Latency: ms(5)})
+	sim.SetBiLink("home", "rome", netsim.Link{Latency: ms(10)})
+	sim.SetBiLink("paris", "rome", netsim.Link{Latency: ms(6)})
+	ha, err := NewHomeAgent(sim, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mob := NewMobile(sim, ha, "laptop-7")
+	corr, err := NewCorrespondent(sim, "nyc", map[string]string{"laptop-7": "home"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, ha, mob, corr
+}
+
+func TestDeliveryAtHome(t *testing.T) {
+	sim, ha, mob, corr := world(t)
+	got := 0
+	mob.OnMessage = func(Payload, string) { got++ }
+	if err := corr.Send("laptop-7", "hello", 64); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	// At home the agent consumes it (Delivered); the simplified model does
+	// not re-dispatch to a co-located handler.
+	if ha.Delivered != 1 {
+		t.Errorf("home deliveries = %d", ha.Delivered)
+	}
+	if ha.Tunneled != 0 {
+		t.Errorf("tunneled = %d", ha.Tunneled)
+	}
+}
+
+func TestTunnelToForeignNetwork(t *testing.T) {
+	sim, ha, mob, corr := world(t)
+	var at string
+	var tunneled bool
+	mob.OnMessage = func(p Payload, where string) { at, tunneled = where, p.Tunnel }
+	if err := mob.AttachAt("paris"); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run() // let the registration land
+	if err := corr.Send("laptop-7", "meet at 5", 64); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if mob.Received != 1 {
+		t.Fatalf("received = %d", mob.Received)
+	}
+	if at != "paris" || !tunneled {
+		t.Errorf("delivered at %q tunneled=%v", at, tunneled)
+	}
+	if ha.Tunneled != 1 {
+		t.Errorf("home agent tunneled = %d", ha.Tunneled)
+	}
+	if c, _ := ha.CareOf("laptop-7"); c != "paris" {
+		t.Errorf("care-of = %q", c)
+	}
+}
+
+func TestTriangleRoutingCost(t *testing.T) {
+	// nyc -> home -> paris should cost ~(35+5)ms vs the direct 40ms path —
+	// here the triangle happens to equal direct; move the mobile to rome
+	// where the triangle (35+10) beats direct (45)... so use paris but
+	// measure explicitly that delivery time = nyc->home + home->paris.
+	sim, _, mob, corr := world(t)
+	var deliveredAt time.Duration
+	mob.OnMessage = func(Payload, string) { deliveredAt = sim.Now() }
+	mob.AttachAt("paris")
+	sim.Run()
+	start := sim.Now()
+	corr.Send("laptop-7", "x", 0)
+	sim.Run()
+	got := deliveredAt - start
+	want := 40 * time.Millisecond // 35ms nyc->home + 5ms home->paris
+	if got != want {
+		t.Errorf("triangle latency = %v, want %v", got, want)
+	}
+}
+
+func TestHandoffReregisters(t *testing.T) {
+	sim, ha, mob, corr := world(t)
+	var at string
+	mob.OnMessage = func(p Payload, where string) { at = where }
+	mob.AttachAt("paris")
+	sim.Run()
+	// Handoff to rome.
+	mob.AttachAt("rome")
+	sim.Run()
+	if c, _ := ha.CareOf("laptop-7"); c != "rome" {
+		t.Fatalf("care-of after handoff = %q", c)
+	}
+	corr.Send("laptop-7", "after handoff", 64)
+	sim.Run()
+	if at != "rome" {
+		t.Errorf("delivered at %q", at)
+	}
+	if mob.At() != "rome" {
+		t.Errorf("At = %q", mob.At())
+	}
+}
+
+func TestInFlightDuringHandoff(t *testing.T) {
+	// A message tunneled to the old care-of node while the mobile moves is
+	// lost in the basic protocol — the disconnection characteristic §4.2.2
+	// tells QoS management to expect.
+	sim, _, mob, corr := world(t)
+	mob.AttachAt("paris")
+	sim.Run()
+	corr.Send("laptop-7", "racing the handoff", 64)
+	// The mobile leaves for rome immediately; the old paris handler now
+	// belongs to nobody (the node keeps the stale closure, which checks the
+	// address and still accepts... so model the radio loss by detaching).
+	mob.AttachAt("rome")
+	sim.Run()
+	// The message either arrived pre-move (received at paris) or post-move
+	// at the stale attachment; both count once. What must NOT happen is a
+	// duplicate.
+	if mob.Received > 1 {
+		t.Errorf("received = %d, duplicates forbidden", mob.Received)
+	}
+}
+
+func TestUnknownDestinations(t *testing.T) {
+	sim, ha, _, corr := world(t)
+	if err := corr.Send("nobody", "x", 0); err == nil {
+		t.Error("unknown mobile should fail at the correspondent")
+	}
+	// A registered-then-deregistered mobile's traffic is dropped silently.
+	ha.Deregister("laptop-7")
+	corr.Send("laptop-7", "x", 0)
+	sim.Run()
+	if ha.Tunneled != 0 || ha.Delivered != 0 {
+		t.Error("deregistered mobile should receive nothing")
+	}
+	if _, err := NewHomeAgent(sim, "ghost"); err == nil {
+		t.Error("home agent on unknown node should fail")
+	}
+	if _, err := NewCorrespondent(sim, "ghost", nil); err == nil {
+		t.Error("correspondent on unknown node should fail")
+	}
+	var m Mobile
+	m.sim = sim
+	if err := (&m).AttachAt("ghost"); err == nil {
+		t.Error("attach to unknown node should fail")
+	}
+}
+
+func BenchmarkTunneledDelivery(b *testing.B) {
+	sim := netsim.New(1, netsim.LANLink)
+	for _, n := range []string{"home", "away", "corr"} {
+		sim.MustAddNode(n)
+	}
+	ha, _ := NewHomeAgent(sim, "home")
+	mob := NewMobile(sim, ha, "m")
+	mob.AttachAt("away")
+	sim.Run()
+	corr, _ := NewCorrespondent(sim, "corr", map[string]string{"m": "home"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corr.Send("m", i, 64)
+		if i%512 == 0 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}

@@ -1,0 +1,330 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// The paper's experiments concern distributed CSCW sessions over LANs, WANs
+// and mobile radio links — hardware we substitute with a simulated network
+// whose links have configurable latency, jitter, loss and bandwidth, and
+// whose mobile links move between connection levels (disconnected, partial,
+// full) on a schedule. Virtual time makes experiments reproducible and lets
+// a benchmark simulate minutes of session activity in milliseconds.
+//
+// The simulator is single-threaded: all handlers run on the goroutine that
+// calls Run/RunUntil/Step, in timestamp order (ties broken by insertion
+// order), so no locking is needed inside handlers.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Common errors returned by the simulator.
+var (
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	ErrNoRoute     = errors.New("netsim: no route between nodes")
+)
+
+// Msg is a message in flight between two simulated nodes.
+type Msg struct {
+	From    string
+	To      string
+	Payload any
+	Size    int // bytes, for bandwidth accounting; 0 means negligible
+	Sent    time.Duration
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(m Msg)
+
+// Link models a unidirectional network path.
+type Link struct {
+	Latency   time.Duration // propagation delay
+	Jitter    time.Duration // uniform random extra delay in [0, Jitter)
+	Loss      float64       // probability in [0,1] that a message is dropped
+	Bandwidth int64         // bytes/second; 0 means infinite
+	Down      bool          // true severs the link entirely
+}
+
+// Profiles for common link classes used across experiments.
+var (
+	// LANLink approximates a 1993 departmental Ethernet.
+	LANLink = Link{Latency: 1 * time.Millisecond, Jitter: 200 * time.Microsecond, Bandwidth: 1_250_000}
+	// WANLink approximates an inter-site wide-area path.
+	WANLink = Link{Latency: 40 * time.Millisecond, Jitter: 8 * time.Millisecond, Bandwidth: 256_000}
+	// RadioLink approximates a partial mobile connection: slow and lossy.
+	RadioLink = Link{Latency: 150 * time.Millisecond, Jitter: 60 * time.Millisecond, Loss: 0.05, Bandwidth: 2_400}
+	// LocalLink approximates same-host IPC.
+	LocalLink = Link{Latency: 50 * time.Microsecond}
+)
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type linkKey struct{ from, to string }
+
+type linkState struct {
+	link      Link
+	busyUntil time.Duration // FIFO serialization point for bandwidth modelling
+}
+
+// Node is a simulated host. Nodes send messages through the simulator and
+// receive them via a registered handler.
+type Node struct {
+	id      string
+	sim     *Sim
+	handler Handler
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.id }
+
+// SetHandler installs the message handler. It may be changed between events.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Send transmits payload of the given size to node to. It never blocks; the
+// message is delivered (or dropped) during simulation execution.
+func (n *Node) Send(to string, payload any, size int) error {
+	return n.sim.Send(n.id, to, payload, size)
+}
+
+// Sim is the discrete-event simulator. Construct with New.
+type Sim struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	nodes   map[string]*Node
+	links   map[linkKey]*linkState
+	deflt   Link
+	dropped int
+	sent    int
+}
+
+// New creates a simulator with the given RNG seed and default link used for
+// node pairs without an explicit link.
+func New(seed int64, defaultLink Link) *Sim {
+	return &Sim{
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[string]*Node),
+		links: make(map[linkKey]*linkState),
+		deflt: defaultLink,
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand exposes the simulator's seeded RNG so workloads stay reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Stats reports messages sent and dropped so far.
+func (s *Sim) Stats() (sent, dropped int) { return s.sent, s.dropped }
+
+// AddNode registers a new node. Adding a duplicate ID replaces the previous
+// node's identity but is almost certainly a bug; it returns an error.
+func (s *Sim) AddNode(id string) (*Node, error) {
+	if _, ok := s.nodes[id]; ok {
+		return nil, fmt.Errorf("netsim: node %q already exists", id)
+	}
+	n := &Node{id: id, sim: s}
+	s.nodes[id] = n
+	return n, nil
+}
+
+// MustAddNode is AddNode for test and benchmark setup paths where a
+// duplicate ID is a programming error.
+func (s *Sim) MustAddNode(id string) *Node {
+	n, err := s.AddNode(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns a registered node, or nil.
+func (s *Sim) Node(id string) *Node { return s.nodes[id] }
+
+// SetLink installs a unidirectional link between two nodes.
+func (s *Sim) SetLink(from, to string, l Link) {
+	key := linkKey{from, to}
+	if st, ok := s.links[key]; ok {
+		st.link = l
+		return
+	}
+	s.links[key] = &linkState{link: l}
+}
+
+// SetBiLink installs the same link in both directions.
+func (s *Sim) SetBiLink(a, b string, l Link) {
+	s.SetLink(a, b, l)
+	s.SetLink(b, a, l)
+}
+
+// LinkBetween returns the effective link from one node to another.
+func (s *Sim) LinkBetween(from, to string) Link {
+	if st, ok := s.links[linkKey{from, to}]; ok {
+		return st.link
+	}
+	return s.deflt
+}
+
+// SetDown raises or clears the Down flag on both directions between a and b.
+func (s *Sim) SetDown(a, b string, down bool) {
+	for _, key := range []linkKey{{a, b}, {b, a}} {
+		st, ok := s.links[key]
+		if !ok {
+			st = &linkState{link: s.deflt}
+			s.links[key] = st
+		}
+		st.link.Down = down
+	}
+}
+
+// Partition severs all links between the two groups of nodes. Heal restores
+// them.
+func (s *Sim) Partition(groupA, groupB []string) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			s.SetDown(a, b, true)
+		}
+	}
+}
+
+// Heal restores all links between the two groups.
+func (s *Sim) Heal(groupA, groupB []string) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			s.SetDown(a, b, false)
+		}
+	}
+}
+
+// At schedules fn to run at the given delay from now.
+func (s *Sim) At(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until fn returns false.
+func (s *Sim) Every(interval time.Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.At(interval, tick)
+		}
+	}
+	s.At(interval, tick)
+}
+
+// Send schedules delivery of payload from one node to another, applying the
+// link's loss, latency, jitter and bandwidth. Messages between the same pair
+// are delivered FIFO (the bandwidth serialization point enforces this).
+func (s *Sim) Send(from, to string, payload any, size int) error {
+	if _, ok := s.nodes[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	dst, ok := s.nodes[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	key := linkKey{from, to}
+	st, ok := s.links[key]
+	if !ok {
+		st = &linkState{link: s.deflt}
+		s.links[key] = st
+	}
+	s.sent++
+	if st.link.Down {
+		s.dropped++
+		return fmt.Errorf("%w: %s -> %s (link down)", ErrNoRoute, from, to)
+	}
+	if st.link.Loss > 0 && s.rng.Float64() < st.link.Loss {
+		s.dropped++
+		return nil // silently lost, like the real network
+	}
+	var transmit time.Duration
+	if st.link.Bandwidth > 0 && size > 0 {
+		transmit = time.Duration(float64(size) / float64(st.link.Bandwidth) * float64(time.Second))
+	}
+	start := s.now
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	st.busyUntil = start + transmit
+	delay := st.busyUntil - s.now + st.link.Latency
+	if st.link.Jitter > 0 {
+		delay += time.Duration(s.rng.Int63n(int64(st.link.Jitter)))
+	}
+	msg := Msg{From: from, To: to, Payload: payload, Size: size, Sent: s.now}
+	s.At(delay, func() {
+		if dst.handler != nil {
+			dst.handler(msg)
+		}
+	})
+	return nil
+}
+
+// Step executes the next pending event. It reports false when the queue is
+// empty.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final virtual
+// time.
+func (s *Sim) Run() time.Duration {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline. Later events stay queued.
+func (s *Sim) RunUntil(deadline time.Duration) {
+	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return s.queue.Len() }

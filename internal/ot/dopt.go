@@ -1,0 +1,109 @@
+package ot
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Stamped is an operation tagged with its generation context: the state
+// vector of the generating site at generation time (with the generator's
+// own component already incremented, so the stamp identifies the op).
+type Stamped struct {
+	Op   Op
+	Site string
+	VC   vclock.VC
+}
+
+// Site is a dOPT (Ellis & Gibbs 1989) editing site. Local operations apply
+// immediately — this is the whole point: zero response time. Remote
+// operations must arrive causally ordered (deliver them over the group
+// package's Causal multicast); Receive transforms them against the
+// concurrent suffix of the execution log before applying.
+//
+// Faithfulness note: dOPT as published does not converge for every
+// 3-or-more-site concurrency pattern (the "dOPT puzzle"). The Server/Client
+// pair in this package provides the provably convergent alternative.
+type Site struct {
+	id  string
+	doc []rune
+	vc  vclock.VC
+	log []Stamped
+}
+
+// NewSite creates a site with the given identifier and initial document.
+func NewSite(id, initial string) *Site {
+	return &Site{id: id, doc: []rune(initial), vc: vclock.New()}
+}
+
+// ID returns the site identifier.
+func (s *Site) ID() string { return s.id }
+
+// Text returns the current document contents.
+func (s *Site) Text() string { return string(s.doc) }
+
+// Clock returns a copy of the site's state vector.
+func (s *Site) Clock() vclock.VC { return s.vc.Clone() }
+
+// LogLen returns the execution log length (for tests and metrics).
+func (s *Site) LogLen() int { return len(s.log) }
+
+// Compact discards log entries that happened-before (or equal) the given
+// cut — typically the component-wise minimum of every site's acknowledged
+// state vector, as a matrix clock would provide. Entries at or below the
+// cut can never again be concurrent with an incoming operation, so they
+// contribute nothing to future transformations. Returns how many entries
+// were dropped.
+func (s *Site) Compact(cut vclock.VC) int {
+	kept := s.log[:0]
+	dropped := 0
+	for _, st := range s.log {
+		switch st.VC.Compare(cut) {
+		case vclock.Before, vclock.Equal:
+			dropped++
+		default:
+			kept = append(kept, st)
+		}
+	}
+	s.log = kept
+	return dropped
+}
+
+// Generate executes a local operation immediately and returns the stamped
+// form to multicast to the other sites.
+func (s *Site) Generate(op Op) (Stamped, error) {
+	op.Site = s.id
+	doc, err := Apply(s.doc, op)
+	if err != nil {
+		return Stamped{}, fmt.Errorf("local apply: %w", err)
+	}
+	s.doc = doc
+	s.vc.Tick(s.id)
+	st := Stamped{Op: op, Site: s.id, VC: s.vc.Clone()}
+	s.log = append(s.log, st)
+	return st, nil
+}
+
+// Receive integrates a remote stamped operation. The caller must deliver
+// operations causally (each op's dependencies already received).
+func (s *Site) Receive(st Stamped) error {
+	if st.Site == s.id {
+		return nil // our own echo
+	}
+	op := st.Op
+	// Transform against every logged operation concurrent with the incoming
+	// one, in log (execution) order.
+	for _, l := range s.log {
+		if l.VC.ConcurrentWith(st.VC) {
+			op = Transform(op, l.Op)
+		}
+	}
+	doc, err := Apply(s.doc, op)
+	if err != nil {
+		return fmt.Errorf("remote apply %v: %w", op, err)
+	}
+	s.doc = doc
+	s.vc.Merge(st.VC)
+	s.log = append(s.log, Stamped{Op: op, Site: st.Site, VC: st.VC.Clone()})
+	return nil
+}

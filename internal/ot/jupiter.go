@@ -1,0 +1,164 @@
+package ot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The Server/Client pair integrates operations through a central commit
+// order: every operation is transformed against the committed operations it
+// was concurrent with, committed at the next revision, and rebroadcast.
+// Clients keep full responsiveness — local operations apply immediately —
+// and transform incoming committed operations against their pending
+// (not-yet-acknowledged) local operations. Convergence follows from TP1
+// alone, so random multi-site workloads property-test clean.
+
+// Committed is an operation fixed in the server's global order.
+type Committed struct {
+	Op   Op
+	Rev  int    // revision after applying this op (1-based)
+	Site string // originating site
+	Seq  uint64 // originating site's operation counter, for ack matching
+}
+
+// ErrBadRevision reports a submission against a revision the server does
+// not know.
+var ErrBadRevision = errors.New("ot: bad base revision")
+
+// Server is the central integration point. It holds the authoritative
+// document and the committed history.
+type Server struct {
+	doc     []rune
+	history []Op // committed ops, index i == revision i+1
+}
+
+// NewServer creates a server with the initial document.
+func NewServer(initial string) *Server {
+	return &Server{doc: []rune(initial)}
+}
+
+// Text returns the authoritative document.
+func (s *Server) Text() string { return string(s.doc) }
+
+// Rev returns the current revision (number of committed operations).
+func (s *Server) Rev() int { return len(s.history) }
+
+// Submit integrates an operation generated against revision base: it is
+// transformed against everything committed since, applied, and returned in
+// committed form for broadcast to all clients (including the sender, as its
+// acknowledgement).
+func (s *Server) Submit(op Op, base int, site string, seq uint64) (Committed, error) {
+	if base < 0 || base > len(s.history) {
+		return Committed{}, fmt.Errorf("%w: %d (rev %d)", ErrBadRevision, base, len(s.history))
+	}
+	op = TransformAgainst(op, s.history[base:])
+	doc, err := Apply(s.doc, op)
+	if err != nil {
+		return Committed{}, fmt.Errorf("server apply: %w", err)
+	}
+	s.doc = doc
+	s.history = append(s.history, op)
+	return Committed{Op: op, Rev: len(s.history), Site: site, Seq: seq}, nil
+}
+
+// Client is an editing site in the centrally-ordered model. It keeps at
+// most one submission in flight: further local operations buffer in the
+// pending list (continually transformed against integrated remote
+// operations) and are submitted one by one as acknowledgements arrive. This
+// is the standard discipline that keeps the server's transform context
+// (history since the submission's base revision) free of the client's own
+// operations.
+type Client struct {
+	id      string
+	doc     []rune
+	base    int // last server revision integrated
+	seq     uint64
+	pending []pendingOp // pending[0] is in flight; the rest are buffered
+}
+
+type pendingOp struct {
+	op  Op
+	seq uint64
+}
+
+// NewClient creates a client whose document starts at the server's current
+// state and revision.
+func NewClient(id string, srv *Server) *Client {
+	return &Client{id: id, doc: []rune(srv.Text()), base: srv.Rev()}
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() string { return c.id }
+
+// Text returns the client's current (optimistic) document.
+func (c *Client) Text() string { return string(c.doc) }
+
+// Base returns the last integrated server revision.
+func (c *Client) Base() int { return c.base }
+
+// PendingCount returns the number of unacknowledged local operations.
+func (c *Client) PendingCount() int { return len(c.pending) }
+
+// Submission is what a client sends to the server for one local op.
+type Submission struct {
+	Op   Op
+	Base int
+	Site string
+	Seq  uint64
+}
+
+// Generate applies a local operation immediately (zero response time) and
+// returns the submission to forward to the server, if one should be sent
+// now. When an earlier operation is still unacknowledged the new operation
+// buffers and send is false; Integrate will release it later.
+func (c *Client) Generate(op Op) (sub Submission, send bool, err error) {
+	op.Site = c.id
+	doc, err := Apply(c.doc, op)
+	if err != nil {
+		return Submission{}, false, fmt.Errorf("local apply: %w", err)
+	}
+	c.doc = doc
+	c.seq++
+	c.pending = append(c.pending, pendingOp{op: op, seq: c.seq})
+	if len(c.pending) > 1 {
+		return Submission{}, false, nil
+	}
+	return Submission{Op: op, Base: c.base, Site: c.id, Seq: c.seq}, true, nil
+}
+
+// Integrate consumes the next committed operation from the server (clients
+// must see commits in revision order). When the commit acknowledges this
+// client's in-flight operation and more are buffered, the next submission
+// is returned with send=true.
+func (c *Client) Integrate(cm Committed) (next Submission, send bool, err error) {
+	if cm.Rev != c.base+1 {
+		return Submission{}, false, fmt.Errorf("ot: out-of-order commit rev %d at base %d", cm.Rev, c.base)
+	}
+	c.base = cm.Rev
+	if cm.Site == c.id {
+		// Acknowledgement of our in-flight op.
+		if len(c.pending) == 0 || c.pending[0].seq != cm.Seq {
+			return Submission{}, false, fmt.Errorf("ot: unexpected ack seq %d", cm.Seq)
+		}
+		c.pending = c.pending[1:]
+		if len(c.pending) > 0 {
+			p := c.pending[0]
+			return Submission{Op: p.op, Base: c.base, Site: c.id, Seq: p.seq}, true, nil
+		}
+		return Submission{}, false, nil
+	}
+	// Transform the incoming op over our pending ops, and our pending ops
+	// over the incoming op (the Jupiter bridge).
+	op := cm.Op
+	for i := range c.pending {
+		newOp := Transform(op, c.pending[i].op)
+		c.pending[i].op = Transform(c.pending[i].op, op)
+		op = newOp
+	}
+	doc, err := Apply(c.doc, op)
+	if err != nil {
+		return Submission{}, false, fmt.Errorf("integrate %v: %w", op, err)
+	}
+	c.doc = doc
+	return Submission{}, false, nil
+}

@@ -1,0 +1,139 @@
+package qos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse reads the textual QoS annotation syntax used on interface
+// definitions — the paper's requirement that QoS properties be *expressed*
+// on interfaces in a form people can read and tools can check. The syntax
+// matches what Params.String produces:
+//
+//	tput>=8000B/s lat<=50ms jit<=10ms loss<=0.01 disc<=30s
+//
+// Clauses may appear in any order and any subset; loss also accepts a
+// percentage ("loss<=1%"). Unknown clauses are errors.
+func Parse(s string) (Params, error) {
+	var p Params
+	for _, tok := range strings.Fields(s) {
+		key, val, op, err := splitClause(tok)
+		if err != nil {
+			return Params{}, err
+		}
+		switch key {
+		case "tput", "throughput":
+			if op != ">=" {
+				return Params{}, fmt.Errorf("qos: throughput is a floor; use >= in %q", tok)
+			}
+			n, err := parseRate(val)
+			if err != nil {
+				return Params{}, fmt.Errorf("qos: %q: %w", tok, err)
+			}
+			p.Throughput = n
+		case "lat", "latency":
+			d, err := parseCeilingDuration(op, val, tok)
+			if err != nil {
+				return Params{}, err
+			}
+			p.Latency = d
+		case "jit", "jitter":
+			d, err := parseCeilingDuration(op, val, tok)
+			if err != nil {
+				return Params{}, err
+			}
+			p.Jitter = d
+		case "disc", "disconnect":
+			d, err := parseCeilingDuration(op, val, tok)
+			if err != nil {
+				return Params{}, err
+			}
+			p.MaxDisconnect = d
+		case "loss":
+			if op != "<=" {
+				return Params{}, fmt.Errorf("qos: loss is a ceiling; use <= in %q", tok)
+			}
+			f, err := parseLoss(val)
+			if err != nil {
+				return Params{}, fmt.Errorf("qos: %q: %w", tok, err)
+			}
+			p.Loss = f
+		default:
+			return Params{}, fmt.Errorf("qos: unknown clause %q", tok)
+		}
+	}
+	return p, nil
+}
+
+// MustParse is Parse for static annotations; it panics on error (use only
+// for literals in program setup).
+func MustParse(s string) Params {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splitClause(tok string) (key, val, op string, err error) {
+	for _, candidate := range []string{">=", "<="} {
+		if i := strings.Index(tok, candidate); i > 0 {
+			return tok[:i], tok[i+len(candidate):], candidate, nil
+		}
+	}
+	return "", "", "", fmt.Errorf("qos: clause %q needs >= or <=", tok)
+}
+
+// parseRate reads "8000B/s", "8kB/s", "1.5MB/s" or a bare byte count.
+func parseRate(s string) (int64, error) {
+	s = strings.TrimSuffix(s, "/s")
+	mult := float64(1)
+	switch {
+	case strings.HasSuffix(s, "kB"):
+		mult, s = 1e3, strings.TrimSuffix(s, "kB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1e6, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate: %w", err)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative rate %v", f)
+	}
+	return int64(f * mult), nil
+}
+
+func parseCeilingDuration(op, val, tok string) (time.Duration, error) {
+	if op != "<=" {
+		return 0, fmt.Errorf("qos: %s is a ceiling; use <= in %q", tok, tok)
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, fmt.Errorf("qos: %q: %w", tok, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("qos: negative duration in %q", tok)
+	}
+	return d, nil
+}
+
+func parseLoss(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if pct {
+		f /= 100
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("loss %v out of [0,1]", f)
+	}
+	return f, nil
+}

@@ -1,0 +1,96 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFull(t *testing.T) {
+	p, err := Parse("tput>=8kB/s lat<=50ms jit<=10ms loss<=1% disc<=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput != 8000 {
+		t.Errorf("tput = %d", p.Throughput)
+	}
+	if p.Latency != 50*time.Millisecond || p.Jitter != 10*time.Millisecond {
+		t.Errorf("lat/jit = %v/%v", p.Latency, p.Jitter)
+	}
+	if p.Loss != 0.01 {
+		t.Errorf("loss = %v", p.Loss)
+	}
+	if p.MaxDisconnect != 30*time.Second {
+		t.Errorf("disc = %v", p.MaxDisconnect)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	cases := map[string]Params{
+		"":                  {},
+		"tput>=1.5MB/s":     {Throughput: 1_500_000},
+		"tput>=500":         {Throughput: 500},
+		"tput>=500B/s":      {Throughput: 500},
+		"loss<=0.25":        {Loss: 0.25},
+		"latency<=1s":       {Latency: time.Second},
+		"jitter<=250µs":     {Jitter: 250 * time.Microsecond},
+		"disconnect<=2m":    {MaxDisconnect: 2 * time.Minute},
+		"throughput>=2kB/s": {Throughput: 2000},
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"tput<=100",  // floor with ceiling operator
+		"lat>=10ms",  // ceiling with floor operator
+		"loss<=150%", // out of range
+		"loss<=-0.1", // negative
+		"lat<=-5ms",  // negative duration
+		"blah<=10",   // unknown clause
+		"lat=10ms",   // missing operator
+		"tput>=fast", // bad number
+		"lat<=alot",  // bad duration
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	orig := Params{Throughput: 8000, Latency: 50 * time.Millisecond, Jitter: 10 * time.Millisecond, Loss: 0.01, MaxDisconnect: 30 * time.Second}
+	// Params.String renders loss with 3 decimals and durations in Go form —
+	// both parse back.
+	back, err := Parse(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip: %+v -> %q -> %+v", orig, orig.String(), back)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on garbage should panic")
+		}
+	}()
+	MustParse("nonsense<=banana")
+}
+
+func TestMustParseOK(t *testing.T) {
+	p := MustParse("lat<=5ms")
+	if p.Latency != 5*time.Millisecond {
+		t.Errorf("p = %+v", p)
+	}
+}

@@ -1,0 +1,143 @@
+package session
+
+import (
+	"fmt"
+	"time"
+)
+
+// Client is a session participant endpoint. Wire its transport handler to
+// Receive.
+type Client struct {
+	conduit Conduit
+	host    string
+	joined  bool
+	mode    Mode
+	lastSeq uint64
+
+	// OnItem receives session items (pushed or polled), in order.
+	OnItem func(it Item)
+	// OnMode observes session mode switches.
+	OnMode func(m Mode)
+	// OnPresence observes other participants' presence changes.
+	OnPresence func(user string, p Presence)
+	// OnJoined fires when the join acknowledgement (with backlog) arrives.
+	OnJoined func(mode Mode, members []string)
+}
+
+// NewClient creates a client that will talk to the named host.
+func NewClient(conduit Conduit, host string) *Client {
+	return &Client{conduit: conduit, host: host, mode: Synchronous}
+}
+
+// ID returns the client's identifier.
+func (c *Client) ID() string { return c.conduit.ID() }
+
+// Joined reports whether the join handshake completed.
+func (c *Client) Joined() bool { return c.joined }
+
+// Mode returns the last known session mode.
+func (c *Client) Mode() Mode { return c.mode }
+
+// LastSeq returns the highest item sequence number seen.
+func (c *Client) LastSeq() uint64 { return c.lastSeq }
+
+// Join requests (re)admission, asking for replay of anything after the last
+// item this client saw.
+func (c *Client) Join(now time.Duration) error {
+	if c.host == "" {
+		return ErrNoHost
+	}
+	return c.conduit.Send(c.host, &MsgJoin{From: c.ID(), Since: c.lastSeq, State: Active}, 64)
+}
+
+// Post submits an item to the session.
+func (c *Client) Post(kind, body string, now time.Duration) error {
+	if !c.joined {
+		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
+	}
+	return c.conduit.Send(c.host, &MsgPost{From: c.ID(), Kind: kind, Body: body}, len(body)+64)
+}
+
+// Poll fetches items posted since the client last saw one (the
+// asynchronous-mode pull path).
+func (c *Client) Poll(now time.Duration) error {
+	if !c.joined {
+		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
+	}
+	return c.conduit.Send(c.host, &MsgPoll{From: c.ID(), Since: c.lastSeq}, 64)
+}
+
+// SetPresence announces a presence change.
+func (c *Client) SetPresence(p Presence, now time.Duration) error {
+	if !c.joined {
+		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
+	}
+	return c.conduit.Send(c.host, &MsgPresence{From: c.ID(), State: p}, 64)
+}
+
+// Leave departs the session (items continue to queue server-side and replay
+// on rejoin).
+func (c *Client) Leave(now time.Duration) error {
+	if !c.joined {
+		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
+	}
+	c.joined = false
+	return c.conduit.Send(c.host, &MsgLeave{From: c.ID()}, 64)
+}
+
+// Receive ingests a wire message from the transport.
+func (c *Client) Receive(from string, payload any) {
+	switch m := payload.(type) {
+	case *MsgJoinAck:
+		c.onJoinAck(*m)
+	case MsgJoinAck:
+		c.onJoinAck(m)
+	case *MsgItems:
+		c.onItems(*m)
+	case MsgItems:
+		c.onItems(m)
+	case *MsgMode:
+		c.mode = m.Mode
+		if c.OnMode != nil {
+			c.OnMode(m.Mode)
+		}
+	case MsgMode:
+		c.mode = m.Mode
+		if c.OnMode != nil {
+			c.OnMode(m.Mode)
+		}
+	case *MsgPresence:
+		if c.OnPresence != nil {
+			c.OnPresence(m.From, m.State)
+		}
+	case MsgPresence:
+		if c.OnPresence != nil {
+			c.OnPresence(m.From, m.State)
+		}
+	}
+}
+
+func (c *Client) onJoinAck(m MsgJoinAck) {
+	c.joined = true
+	c.mode = m.Mode
+	if c.OnJoined != nil {
+		c.OnJoined(m.Mode, m.Members)
+	}
+	c.deliver(m.Backlog)
+}
+
+func (c *Client) onItems(m MsgItems) {
+	c.deliver(m.Items)
+}
+
+func (c *Client) deliver(items []Item) {
+	for _, it := range items {
+		if it.Seq <= c.lastSeq {
+			continue // duplicate (e.g. rejoin replay racing a push)
+		}
+		c.lastSeq = it.Seq
+		if c.OnItem != nil {
+			c.OnItem(it)
+		}
+	}
+}

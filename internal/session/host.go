@@ -1,0 +1,246 @@
+package session
+
+import (
+	"sort"
+	"time"
+)
+
+// HostStats aggregates host activity.
+type HostStats struct {
+	Posts        int
+	Pushes       int // items pushed synchronously
+	PollServes   int // items served to polls
+	FlushServes  int // items flushed by a mode transition
+	ModeSwitches int
+}
+
+type partState struct {
+	id       string
+	presence Presence
+	acked    uint64 // highest sequence number delivered (push or poll)
+}
+
+// Host is the session coordinator. Wire its transport handler to Receive.
+// Single-threaded, like the other simulation-facing layers; the TCP daemon
+// serializes calls.
+type Host struct {
+	conduit Conduit
+	mode    Mode
+	log     []Item
+	seq     uint64
+	parts   map[string]*partState
+	clock   func() time.Duration
+	stats   HostStats
+	// OnItem observes every accepted post (the hyperdoc and experiment
+	// layers tap this).
+	OnItem func(Item)
+}
+
+// NewHost creates a session host. clock supplies the current (virtual or
+// real) time for item stamping.
+func NewHost(conduit Conduit, mode Mode, clock func() time.Duration) *Host {
+	return &Host{
+		conduit: conduit,
+		mode:    mode,
+		parts:   make(map[string]*partState),
+		clock:   clock,
+	}
+}
+
+// Mode returns the session's current mode.
+func (h *Host) Mode() Mode { return h.mode }
+
+// Stats returns accumulated statistics.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// LogLen returns the number of items in the session log.
+func (h *Host) LogLen() int { return len(h.log) }
+
+// Members returns joined participants (any presence), sorted.
+func (h *Host) Members() []string {
+	out := make([]string, 0, len(h.parts))
+	for id := range h.parts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PresenceOf returns a participant's presence (Offline if never joined).
+func (h *Host) PresenceOf(id string) Presence {
+	if p, ok := h.parts[id]; ok {
+		return p.presence
+	}
+	return Offline
+}
+
+// Receive ingests a wire message from the transport.
+func (h *Host) Receive(from string, payload any) {
+	switch m := payload.(type) {
+	case *MsgJoin:
+		h.onJoin(*m)
+	case MsgJoin:
+		h.onJoin(m)
+	case *MsgPost:
+		h.onPost(*m)
+	case MsgPost:
+		h.onPost(m)
+	case *MsgPoll:
+		h.onPoll(*m)
+	case MsgPoll:
+		h.onPoll(m)
+	case *MsgPresence:
+		h.onPresence(*m)
+	case MsgPresence:
+		h.onPresence(m)
+	case *MsgLeave:
+		h.onLeave(*m)
+	case MsgLeave:
+		h.onLeave(m)
+	}
+}
+
+func (h *Host) onJoin(m MsgJoin) {
+	p, ok := h.parts[m.From]
+	if !ok {
+		p = &partState{id: m.From}
+		h.parts[m.From] = p
+	}
+	p.presence = m.State
+	if p.presence == 0 {
+		p.presence = Active
+	}
+	backlog := withoutFrom(h.itemsAfter(m.Since), m.From)
+	p.acked = h.seq
+	ack := &MsgJoinAck{Mode: h.mode, Backlog: backlog, Members: h.Members()}
+	h.send(m.From, ack, len(backlog)*32+64)
+	// Tell the others someone arrived (presence awareness).
+	h.fanout(&MsgPresence{From: m.From, State: p.presence}, m.From)
+}
+
+func (h *Host) onLeave(m MsgLeave) {
+	if p, ok := h.parts[m.From]; ok {
+		p.presence = Offline
+	}
+	h.fanout(&MsgPresence{From: m.From, State: Offline}, m.From)
+}
+
+func (h *Host) onPresence(m MsgPresence) {
+	p, ok := h.parts[m.From]
+	if !ok {
+		return
+	}
+	p.presence = m.State
+	h.fanout(&MsgPresence{From: m.From, State: m.State}, m.From)
+}
+
+func (h *Host) onPost(m MsgPost) {
+	if _, ok := h.parts[m.From]; !ok {
+		return // posts from strangers are dropped
+	}
+	h.seq++
+	it := Item{Seq: h.seq, From: m.From, Kind: m.Kind, Body: m.Body, At: h.clock()}
+	h.log = append(h.log, it)
+	h.stats.Posts++
+	if h.OnItem != nil {
+		h.OnItem(it)
+	}
+	if h.mode != Synchronous {
+		return
+	}
+	for _, id := range h.Members() {
+		p := h.parts[id]
+		if p.presence != Active || id == m.From {
+			// The poster's own item counts as delivered to it.
+			if id == m.From {
+				p.acked = it.Seq
+			}
+			continue
+		}
+		h.stats.Pushes++
+		p.acked = it.Seq
+		h.send(id, &MsgItems{Items: []Item{it}}, len(it.Body)+64)
+	}
+}
+
+func (h *Host) onPoll(m MsgPoll) {
+	p, ok := h.parts[m.From]
+	if !ok {
+		return
+	}
+	items := withoutFrom(h.itemsAfter(m.Since), m.From)
+	h.stats.PollServes += len(items)
+	p.acked = h.seq
+	h.send(m.From, &MsgItems{Items: items}, len(items)*32+64)
+}
+
+// SetMode switches the session mode. An asynchronous-to-synchronous switch
+// flushes every present participant's backlog so nobody resumes live work
+// with stale state — the seamless transition.
+func (h *Host) SetMode(mode Mode) {
+	if mode == h.mode {
+		return
+	}
+	h.mode = mode
+	h.stats.ModeSwitches++
+	h.fanout(&MsgMode{Mode: mode}, "")
+	if mode != Synchronous {
+		return
+	}
+	for _, id := range h.Members() {
+		p := h.parts[id]
+		if p.presence != Active {
+			continue
+		}
+		missed := withoutFrom(h.itemsAfter(p.acked), id)
+		if len(missed) == 0 {
+			p.acked = h.seq
+			continue
+		}
+		h.stats.FlushServes += len(missed)
+		p.acked = h.seq
+		h.send(id, &MsgItems{Items: missed}, len(missed)*32+64)
+	}
+}
+
+func (h *Host) itemsAfter(since uint64) []Item {
+	if since >= h.seq {
+		return nil
+	}
+	// Sequence numbers are dense (1..seq), so index directly.
+	start := int(since)
+	if start > len(h.log) {
+		start = len(h.log)
+	}
+	out := make([]Item, len(h.log)-start)
+	copy(out, h.log[start:])
+	return out
+}
+
+// withoutFrom filters out items authored by from: a participant's own items
+// are never delivered back to it.
+func withoutFrom(items []Item, from string) []Item {
+	out := items[:0]
+	for _, it := range items {
+		if it.From != from {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func (h *Host) fanout(payload any, except string) {
+	for _, id := range h.Members() {
+		p := h.parts[id]
+		if id == except || p.presence == Offline {
+			continue
+		}
+		h.send(id, payload, 64)
+	}
+}
+
+func (h *Host) send(to string, payload any, size int) {
+	// Transient send failures (partitions, disconnected mobiles) surface as
+	// missed pushes; the poll path recovers them, so drop silently here.
+	_ = h.conduit.Send(to, payload, size)
+}

@@ -1,0 +1,142 @@
+// Package session implements multiparty CSCW sessions spanning Johansen's
+// space-time matrix (Figure 1 of the paper): synchronous or asynchronous
+// interaction, co-located or remote participants, with *seamless*
+// transitions between modes — the requirement the paper stresses ("work
+// often switches rapidly between asynchronous and synchronous
+// interactions").
+//
+// The model is host-centric: a session host keeps the item log, membership
+// and presence; participants post items to the host. In synchronous mode
+// the host pushes items to every present participant immediately; in
+// asynchronous mode items accumulate and participants poll (store and
+// forward). Switching a live session from asynchronous to synchronous
+// flushes each participant's backlog — the measured "transition cost" of
+// experiment F1 — without tearing the session down.
+//
+// The package is transport-agnostic in the same style as package group: a
+// Conduit sends, Receive ingests, so the same code runs over netsim
+// (experiments) and over TCP (cmd/sessiond) via the JSON-tagged wire types.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Mode is the time dimension of the space-time matrix.
+type Mode int
+
+const (
+	// Synchronous pushes items to present participants immediately.
+	Synchronous Mode = iota + 1
+	// Asynchronous stores items for later polling.
+	Asynchronous
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Synchronous {
+		return "synchronous"
+	}
+	return "asynchronous"
+}
+
+// Presence is a participant's availability state.
+type Presence int
+
+const (
+	// Active means present and receiving pushes.
+	Active Presence = iota + 1
+	// Away means joined but not receiving pushes (items queue).
+	Away
+	// Offline means departed; items queue until rejoin.
+	Offline
+)
+
+// String returns the presence name.
+func (p Presence) String() string {
+	switch p {
+	case Active:
+		return "active"
+	case Away:
+		return "away"
+	case Offline:
+		return "offline"
+	default:
+		return fmt.Sprintf("Presence(%d)", int(p))
+	}
+}
+
+// Conduit is the outbound transport half (identical to group.Conduit;
+// *netsim.Node satisfies it).
+type Conduit interface {
+	ID() string
+	Send(to string, payload any, size int) error
+}
+
+// Errors returned by the session layer.
+var (
+	ErrNotJoined = errors.New("session: participant has not joined")
+	ErrNoHost    = errors.New("session: client has no host configured")
+)
+
+// Item is one unit of session content (an edit, a chat line, a strip move).
+type Item struct {
+	Seq  uint64        `json:"seq"`
+	From string        `json:"from"`
+	Kind string        `json:"kind"`
+	Body string        `json:"body"`
+	At   time.Duration `json:"at"`
+}
+
+// Wire message types. Bodies are JSON-friendly so the TCP adapter can
+// marshal them; over netsim they travel as in-memory values.
+
+// MsgJoin is a participant's join (or rejoin) request.
+type MsgJoin struct {
+	From  string   `json:"from"`
+	Since uint64   `json:"since"` // replay items after this sequence number
+	State Presence `json:"state"`
+}
+
+// MsgJoinAck carries the backlog and session mode to a joiner.
+type MsgJoinAck struct {
+	Mode    Mode     `json:"mode"`
+	Backlog []Item   `json:"backlog"`
+	Members []string `json:"members"`
+}
+
+// MsgPost submits an item to the host.
+type MsgPost struct {
+	From string `json:"from"`
+	Kind string `json:"kind"`
+	Body string `json:"body"`
+}
+
+// MsgItems pushes items to a participant.
+type MsgItems struct {
+	Items []Item `json:"items"`
+}
+
+// MsgPoll requests items after Since.
+type MsgPoll struct {
+	From  string `json:"from"`
+	Since uint64 `json:"since"`
+}
+
+// MsgMode announces a session mode switch.
+type MsgMode struct {
+	Mode Mode `json:"mode"`
+}
+
+// MsgPresence announces a presence change.
+type MsgPresence struct {
+	From  string   `json:"from"`
+	State Presence `json:"state"`
+}
+
+// MsgLeave announces departure.
+type MsgLeave struct {
+	From string `json:"from"`
+}

@@ -1,0 +1,99 @@
+package session
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestSessionOverRealTCP is the cmd/sessiond + cmd/cscwctl path end to end:
+// a host and two clients on real loopback sockets, JSON frames, pushes both
+// ways.
+func TestSessionOverRealTCP(t *testing.T) {
+	book := transport.NewAddressBook()
+	hostEP, err := transport.ListenTCP("host", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hostEP.Close()
+
+	var mu sync.Mutex
+	start := time.Now()
+	host := NewHost(NewEndpointConduit(hostEP), Synchronous, func() time.Duration { return time.Since(start) })
+	hostEP.SetHandler(func(from string, data []byte) {
+		payload, err := DecodePayload(data)
+		if err != nil || payload == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		host.Receive(from, payload)
+	})
+
+	type clientRig struct {
+		ep    *transport.TCPEndpoint
+		cli   *Client
+		items chan Item
+	}
+	mkClient := func(name string) *clientRig {
+		t.Helper()
+		ep, err := transport.ListenTCP(name, "127.0.0.1:0", book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &clientRig{ep: ep, items: make(chan Item, 16)}
+		r.cli = NewClient(NewEndpointConduit(ep), "host")
+		joined := make(chan struct{})
+		r.cli.OnJoined = func(Mode, []string) { close(joined) }
+		r.cli.OnItem = func(it Item) { r.items <- it }
+		ep.SetHandler(func(from string, data []byte) {
+			payload, err := DecodePayload(data)
+			if err != nil || payload == nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			r.cli.Receive(from, payload)
+		})
+		mu.Lock()
+		err = r.cli.Join(0)
+		mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-joined:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s join timeout", name)
+		}
+		return r
+	}
+
+	alice := mkClient("alice")
+	defer alice.ep.Close()
+	bob := mkClient("bob")
+	defer bob.ep.Close()
+
+	mu.Lock()
+	err = alice.cli.Post("chat", "over real sockets", 0)
+	mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case it := <-bob.items:
+		if it.From != "alice" || it.Body != "over real sockets" {
+			t.Errorf("item = %+v", it)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bob never received the push")
+	}
+	// Nothing echoes back to alice.
+	select {
+	case it := <-alice.items:
+		t.Errorf("alice got an echo: %+v", it)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

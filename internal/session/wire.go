@@ -1,0 +1,103 @@
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Wire type tags for the TCP transport.
+const (
+	tagJoin     = "session/join"
+	tagJoinAck  = "session/join-ack"
+	tagPost     = "session/post"
+	tagItems    = "session/items"
+	tagPoll     = "session/poll"
+	tagMode     = "session/mode"
+	tagPresence = "session/presence"
+	tagLeave    = "session/leave"
+)
+
+// EndpointConduit adapts a transport.Endpoint (in-memory hub or TCP) to the
+// Conduit interface used by Host and Client, JSON-encoding the session wire
+// messages. Incoming traffic must be routed with DecodePayload and handed to
+// Host.Receive / Client.Receive.
+type EndpointConduit struct {
+	ep transport.Endpoint
+}
+
+var _ Conduit = (*EndpointConduit)(nil)
+
+// NewEndpointConduit wraps ep.
+func NewEndpointConduit(ep transport.Endpoint) *EndpointConduit {
+	return &EndpointConduit{ep: ep}
+}
+
+// ID returns the endpoint identifier.
+func (c *EndpointConduit) ID() string { return c.ep.ID() }
+
+// Send JSON-encodes a session message and transmits it.
+func (c *EndpointConduit) Send(to string, payload any, size int) error {
+	var tag string
+	switch payload.(type) {
+	case *MsgJoin, MsgJoin:
+		tag = tagJoin
+	case *MsgJoinAck, MsgJoinAck:
+		tag = tagJoinAck
+	case *MsgPost, MsgPost:
+		tag = tagPost
+	case *MsgItems, MsgItems:
+		tag = tagItems
+	case *MsgPoll, MsgPoll:
+		tag = tagPoll
+	case *MsgMode, MsgMode:
+		tag = tagMode
+	case *MsgPresence, MsgPresence:
+		tag = tagPresence
+	case *MsgLeave, MsgLeave:
+		tag = tagLeave
+	default:
+		return fmt.Errorf("session: cannot encode %T", payload)
+	}
+	data, err := transport.Marshal(tag, payload)
+	if err != nil {
+		return err
+	}
+	return c.ep.Send(to, data)
+}
+
+// DecodePayload parses wire data back into the typed session message that
+// Host.Receive / Client.Receive expect. Unknown tags return (nil, nil) so
+// mixed-traffic endpoints can skip them.
+func DecodePayload(data []byte) (any, error) {
+	env, err := transport.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	decode := func(out any) (any, error) {
+		if err := transport.Decode(env, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	switch env.Type {
+	case tagJoin:
+		return decode(&MsgJoin{})
+	case tagJoinAck:
+		return decode(&MsgJoinAck{})
+	case tagPost:
+		return decode(&MsgPost{})
+	case tagItems:
+		return decode(&MsgItems{})
+	case tagPoll:
+		return decode(&MsgPoll{})
+	case tagMode:
+		return decode(&MsgMode{})
+	case tagPresence:
+		return decode(&MsgPresence{})
+	case tagLeave:
+		return decode(&MsgLeave{})
+	default:
+		return nil, nil
+	}
+}

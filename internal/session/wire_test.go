@@ -1,0 +1,127 @@
+package session
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestSessionOverHub runs a real host and client over the in-memory
+// transport with JSON wire encoding — the same path cmd/sessiond uses over
+// TCP.
+func TestSessionOverHub(t *testing.T) {
+	hub := transport.NewHub()
+	hostEP := hub.MustAttach("host")
+	cliEP := hub.MustAttach("alice")
+	defer hostEP.Close()
+	defer cliEP.Close()
+
+	var mu sync.Mutex
+	start := time.Now()
+	clock := func() time.Duration { return time.Since(start) }
+	host := NewHost(NewEndpointConduit(hostEP), Synchronous, clock)
+	hostEP.SetHandler(func(from string, data []byte) {
+		payload, err := DecodePayload(data)
+		if err != nil || payload == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		host.Receive(from, payload)
+	})
+
+	var items []Item
+	joined := make(chan struct{})
+	cli := NewClient(NewEndpointConduit(cliEP), "host")
+	cli.OnJoined = func(Mode, []string) { close(joined) }
+	// OnItem runs inside the endpoint handler, which already holds mu — it
+	// must not lock mu itself.
+	cli.OnItem = func(it Item) {
+		items = append(items, it)
+	}
+	cliEP.SetHandler(func(from string, data []byte) {
+		payload, err := DecodePayload(data)
+		if err != nil || payload == nil {
+			return
+		}
+		mu.Lock()
+		cli.Receive(from, payload)
+		mu.Unlock()
+	})
+
+	if err := cli.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-joined:
+	case <-time.After(5 * time.Second):
+		t.Fatal("join timeout")
+	}
+
+	// A second participant posts; alice receives the JSON-decoded item.
+	bobEP := hub.MustAttach("bob")
+	defer bobEP.Close()
+	bob := NewClient(NewEndpointConduit(bobEP), "host")
+	bobJoined := make(chan struct{})
+	bob.OnJoined = func(Mode, []string) { close(bobJoined) }
+	bobEP.SetHandler(func(from string, data []byte) {
+		payload, err := DecodePayload(data)
+		if err != nil || payload == nil {
+			return
+		}
+		mu.Lock()
+		bob.Receive(from, payload)
+		mu.Unlock()
+	})
+	if err := bob.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	<-bobJoined
+	mu.Lock()
+	err := bob.Post("chat", "hello over the wire", 0)
+	mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(items)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("item never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if items[0].Body != "hello over the wire" || items[0].From != "bob" {
+		t.Errorf("item = %+v", items[0])
+	}
+}
+
+func TestDecodePayloadUnknownAndGarbage(t *testing.T) {
+	if _, err := DecodePayload([]byte("{broken")); err == nil {
+		t.Error("garbage should error")
+	}
+	data, _ := transport.Marshal("other/tag", map[string]int{"x": 1})
+	payload, err := DecodePayload(data)
+	if err != nil || payload != nil {
+		t.Errorf("unknown tag = %v, %v; want nil, nil", payload, err)
+	}
+}
+
+func TestEndpointConduitRejectsForeignPayload(t *testing.T) {
+	hub := transport.NewHub()
+	ep := hub.MustAttach("x")
+	defer ep.Close()
+	c := NewEndpointConduit(ep)
+	if err := c.Send("x", 42, 0); err == nil {
+		t.Error("non-session payload should be rejected")
+	}
+}

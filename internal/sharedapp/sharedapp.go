@@ -1,0 +1,133 @@
+// Package sharedapp implements collaboration-transparent conferencing, the
+// first of the two desktop-conferencing approaches the paper surveys
+// (§3.2.2, after Rapport, SharedX and MMConf): an *unmodified* single-user
+// application is placed in a group setting by multicasting its display
+// output to every participant and multidropping user input so the
+// application still sees a single event stream. "To avoid confusion, users
+// must take turns in interacting with the application; this is achieved by
+// adopting an appropriate floor control policy."
+//
+// The application is abstracted as a deterministic state machine (Input ->
+// Output); the conference engine owns the floor controller, accepts input
+// only from the floor holder, runs the application once, and multicasts the
+// output — which is exactly why the paper calls the approach inflexible:
+// every participant necessarily sees the same thing (no per-user views, no
+// interleaving), the limitation that motivated collaboration-aware systems
+// like the OT editor in package ot.
+package sharedapp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/floor"
+)
+
+// App is the single-user application being shared: it consumes one input
+// event and returns the display output. Implementations must be
+// deterministic; they are unaware of the conference (that is the point).
+type App interface {
+	// Handle processes one input event and returns the resulting display
+	// output.
+	Handle(input string) (output string, err error)
+}
+
+// AppFunc adapts a function to App.
+type AppFunc func(input string) (string, error)
+
+// Handle implements App.
+func (f AppFunc) Handle(input string) (string, error) { return f(input) }
+
+// Errors returned by the conference.
+var (
+	ErrNotHolder      = errors.New("sharedapp: input from a participant without the floor")
+	ErrNotParticipant = errors.New("sharedapp: unknown participant")
+)
+
+// Frame is one multicast display update.
+type Frame struct {
+	Seq    uint64
+	Output string
+	By     string // whose input produced it
+	At     time.Duration
+}
+
+// Stats counts conference activity.
+type Stats struct {
+	Inputs   int // accepted inputs (from floor holders)
+	Rejected int // inputs refused for lack of the floor
+	Frames   int // display updates multicast (one per participant per input)
+}
+
+// Conference shares one App among participants under a floor policy.
+type Conference struct {
+	app     App
+	fc      *floor.Controller
+	members map[string]func(Frame)
+	seq     uint64
+	stats   Stats
+}
+
+// New creates a conference over app with the given floor policy and
+// participants. opts are passed through to the floor controller.
+func New(app App, policy floor.Policy, participants []string, opts floor.Options) (*Conference, error) {
+	fc, err := floor.NewController(policy, participants, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conference{app: app, fc: fc, members: make(map[string]func(Frame))}
+	for _, p := range participants {
+		c.members[p] = nil
+	}
+	return c, nil
+}
+
+// Floor exposes the conference's floor controller (participants request and
+// release through it).
+func (c *Conference) Floor() *floor.Controller { return c.fc }
+
+// Stats returns accumulated statistics.
+func (c *Conference) Stats() Stats { return c.stats }
+
+// Attach registers a participant's display sink.
+func (c *Conference) Attach(user string, display func(Frame)) error {
+	if _, ok := c.members[user]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotParticipant, user)
+	}
+	c.members[user] = display
+	return nil
+}
+
+// Input submits an input event from user. Only the floor holder's input
+// reaches the application; everyone's display gets the output.
+func (c *Conference) Input(user, input string, now time.Duration) error {
+	if _, ok := c.members[user]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotParticipant, user)
+	}
+	if c.fc.Holder() != user {
+		c.stats.Rejected++
+		return fmt.Errorf("%w: %s (holder %q)", ErrNotHolder, user, c.fc.Holder())
+	}
+	out, err := c.app.Handle(input)
+	if err != nil {
+		return fmt.Errorf("application: %w", err)
+	}
+	c.stats.Inputs++
+	c.seq++
+	f := Frame{Seq: c.seq, Output: out, By: user, At: now}
+	// Multicast the display output — every participant sees the same frame.
+	names := make([]string, 0, len(c.members))
+	for n := range c.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if sink := c.members[n]; sink != nil {
+			c.stats.Frames++
+			sink(f)
+		}
+	}
+	return nil
+}

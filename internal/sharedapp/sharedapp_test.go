@@ -1,0 +1,157 @@
+package sharedapp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/floor"
+)
+
+// calculator is a tiny single-user application: feed it numbers and "+",
+// it shows a running total. It knows nothing about conferences.
+func calculator() App {
+	total := 0
+	return AppFunc(func(input string) (string, error) {
+		var n int
+		if _, err := fmt.Sscanf(input, "%d", &n); err != nil {
+			return "", fmt.Errorf("bad input %q", input)
+		}
+		total += n
+		return fmt.Sprintf("total: %d", total), nil
+	})
+}
+
+func conf(t *testing.T) (*Conference, map[string][]Frame) {
+	t.Helper()
+	users := []string{"ann", "ben", "cho"}
+	c, err := New(calculator(), floor.FreeFloor, users, floor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make(map[string][]Frame)
+	for _, u := range users {
+		u := u
+		if err := c.Attach(u, func(f Frame) { frames[u] = append(frames[u], f) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, frames
+}
+
+func TestHolderInputMulticastsToAll(t *testing.T) {
+	c, frames := conf(t)
+	if _, err := c.Floor().Request("ann", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Input("ann", "5", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Input("ann", "3", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"ann", "ben", "cho"} {
+		got := frames[u]
+		if len(got) != 2 {
+			t.Fatalf("%s frames = %d", u, len(got))
+		}
+		if got[1].Output != "total: 8" || got[1].By != "ann" || got[1].Seq != 2 {
+			t.Errorf("%s frame = %+v", u, got[1])
+		}
+	}
+	st := c.Stats()
+	if st.Inputs != 2 || st.Frames != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNonHolderInputRejected(t *testing.T) {
+	c, frames := conf(t)
+	c.Floor().Request("ann", 0)
+	if err := c.Input("ben", "7", time.Second); !errors.Is(err, ErrNotHolder) {
+		t.Fatalf("non-holder input = %v", err)
+	}
+	if len(frames["ann"]) != 0 {
+		t.Error("rejected input must not produce frames")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d", c.Stats().Rejected)
+	}
+	// The floor passes; now ben's input drives the app, continuing the
+	// same application state.
+	c.Floor().Request("ben", 2*time.Second) // queued
+	if err := c.Floor().Release("ann", 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Input("ben", "7", 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := frames["cho"][0].Output; got != "total: 7" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestEveryoneSeesTheSameThing(t *testing.T) {
+	// The defining property (and limitation): views are identical.
+	c, frames := conf(t)
+	c.Floor().Request("cho", 0)
+	for i := 1; i <= 5; i++ {
+		if err := c.Input("cho", fmt.Sprint(i), time.Duration(i)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	render := func(u string) string {
+		var b strings.Builder
+		for _, f := range frames[u] {
+			fmt.Fprintf(&b, "%d:%s;", f.Seq, f.Output)
+		}
+		return b.String()
+	}
+	ann, ben, cho := render("ann"), render("ben"), render("cho")
+	if ann != ben || ben != cho {
+		t.Errorf("views diverged:\n%s\n%s\n%s", ann, ben, cho)
+	}
+}
+
+func TestUnknownParticipant(t *testing.T) {
+	c, _ := conf(t)
+	if err := c.Attach("zed", func(Frame) {}); !errors.Is(err, ErrNotParticipant) {
+		t.Errorf("attach = %v", err)
+	}
+	if err := c.Input("zed", "1", 0); !errors.Is(err, ErrNotParticipant) {
+		t.Errorf("input = %v", err)
+	}
+}
+
+func TestApplicationErrorSurfaces(t *testing.T) {
+	c, frames := conf(t)
+	c.Floor().Request("ann", 0)
+	if err := c.Input("ann", "not-a-number", 0); err == nil {
+		t.Fatal("app error should surface")
+	}
+	if len(frames["ben"]) != 0 {
+		t.Error("failed input must not multicast")
+	}
+}
+
+func TestChairPolicyConference(t *testing.T) {
+	users := []string{"ann", "ben"}
+	c, err := New(calculator(), floor.Chair, users, floor.Options{Chair: "ann"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Attach("ann", func(Frame) {})
+	// Nobody holds the floor until the chair grants.
+	if err := c.Input("ben", "1", 0); !errors.Is(err, ErrNotHolder) {
+		t.Fatalf("input = %v", err)
+	}
+	c.Floor().Request("ben", 0)
+	if err := c.Floor().Grant("ann", "ben", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Input("ben", "1", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

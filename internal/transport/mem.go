@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hub is an in-memory message switch connecting endpoints in the same
+// process. Delivery is asynchronous and FIFO per receiving endpoint.
+type Hub struct {
+	mu    sync.RWMutex
+	ports map[string]*MemEndpoint
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{ports: make(map[string]*MemEndpoint)}
+}
+
+// Attach creates and registers a new endpoint with the given ID.
+func (h *Hub) Attach(id string) (*MemEndpoint, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.ports[id]; ok {
+		return nil, fmt.Errorf("transport: endpoint %q already attached", id)
+	}
+	ep := &MemEndpoint{id: id, hub: h, inbox: newQueue(), done: make(chan struct{})}
+	h.ports[id] = ep
+	go ep.drain()
+	return ep, nil
+}
+
+// MustAttach is Attach for setup paths where duplicates are programming
+// errors.
+func (h *Hub) MustAttach(id string) *MemEndpoint {
+	ep, err := h.Attach(id)
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}
+
+// Peers returns the IDs of all attached endpoints.
+func (h *Hub) Peers() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.ports))
+	for id := range h.ports {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (h *Hub) lookup(id string) (*MemEndpoint, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ep, ok := h.ports[id]
+	return ep, ok
+}
+
+func (h *Hub) detach(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.ports, id)
+}
+
+// MemEndpoint is an in-process endpoint attached to a Hub.
+type MemEndpoint struct {
+	id    string
+	hub   *Hub
+	inbox *queue
+	done  chan struct{}
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+var _ Endpoint = (*MemEndpoint)(nil)
+
+// ID returns the endpoint identifier.
+func (e *MemEndpoint) ID() string { return e.id }
+
+// SetHandler installs the inbound handler.
+func (e *MemEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Send delivers data to peer to through the hub. The data is copied, so the
+// caller may reuse the buffer.
+func (e *MemEndpoint) Send(to string, data []byte) error {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	dst, ok := e.hub.lookup(to)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if !dst.inbox.push(item{from: e.id, data: cp}) {
+		return fmt.Errorf("%w: %q", ErrClosed, to)
+	}
+	return nil
+}
+
+func (e *MemEndpoint) drain() {
+	defer close(e.done)
+	for {
+		it, ok := e.inbox.pop()
+		if !ok {
+			return
+		}
+		e.mu.RLock()
+		h := e.handler
+		e.mu.RUnlock()
+		if h != nil {
+			h(it.from, it.data)
+		}
+	}
+}
+
+// Close detaches the endpoint and waits for its delivery goroutine to exit.
+func (e *MemEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.hub.detach(e.id)
+	e.inbox.close()
+	<-e.done
+	return nil
+}

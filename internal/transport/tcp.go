@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single message to protect against corrupt length
+// prefixes.
+const maxFrame = 16 << 20
+
+// AddressBook maps peer IDs to dialable TCP addresses. It is safe for
+// concurrent use.
+type AddressBook struct {
+	mu    sync.RWMutex
+	addrs map[string]string
+}
+
+// NewAddressBook creates an empty address book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{addrs: make(map[string]string)}
+}
+
+// Set records the address for a peer.
+func (b *AddressBook) Set(id, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[id] = addr
+}
+
+// Lookup returns the address for a peer.
+func (b *AddressBook) Lookup(id string) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	addr, ok := b.addrs[id]
+	return addr, ok
+}
+
+// TCPEndpoint is an Endpoint backed by a TCP listener plus dial-on-demand
+// outbound connections. Wire format per frame:
+//
+//	uint32 total length (big endian) | uint16 sender-ID length | sender ID | payload
+type TCPEndpoint struct {
+	id       string
+	book     *AddressBook
+	listener net.Listener
+
+	mu       sync.Mutex
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]bool
+	closed   bool
+	handler  Handler
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writes
+	c  net.Conn
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP creates an endpoint listening on addr (use ":0" for an ephemeral
+// port) and registers the bound address in the book.
+func ListenTCP(id, addr string, book *AddressBook) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	ep := &TCPEndpoint{id: id, book: book, listener: l, conns: make(map[string]*tcpConn), accepted: make(map[net.Conn]bool)}
+	book.Set(id, l.Addr().String())
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// ID returns the endpoint identifier.
+func (e *TCPEndpoint) ID() string { return e.id }
+
+// Addr returns the bound listen address.
+func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// SetHandler installs the inbound handler.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.accepted[c] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.readLoop(c)
+		}()
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.accepted, c)
+		e.mu.Unlock()
+	}()
+	for {
+		from, payload, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h != nil {
+			h(from, payload)
+		}
+	}
+}
+
+func readFrame(r io.Reader) (from string, payload []byte, err error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return "", nil, err
+	}
+	total := binary.BigEndian.Uint32(head[:])
+	if total > maxFrame || total < 2 {
+		return "", nil, fmt.Errorf("transport: bad frame length %d", total)
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	idLen := binary.BigEndian.Uint16(buf[:2])
+	if int(idLen)+2 > len(buf) {
+		return "", nil, errors.New("transport: bad frame id length")
+	}
+	return string(buf[2 : 2+idLen]), buf[2+idLen:], nil
+}
+
+func writeFrame(w io.Writer, from string, payload []byte) error {
+	total := 2 + len(from) + len(payload)
+	if total > maxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", total)
+	}
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf[:4], uint32(total))
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(from)))
+	copy(buf[6:], from)
+	copy(buf[6+len(from):], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Send transmits data to the named peer, dialing a connection if none is
+// cached.
+func (e *TCPEndpoint) Send(to string, data []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	tc, ok := e.conns[to]
+	e.mu.Unlock()
+	if !ok {
+		addr, found := e.book.Lookup(to)
+		if !found {
+			return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("dial %s (%s): %w", to, addr, err)
+		}
+		e.mu.Lock()
+		if existing, race := e.conns[to]; race {
+			// Another goroutine connected first; use its connection.
+			e.mu.Unlock()
+			c.Close()
+			tc = existing
+		} else {
+			tc = &tcpConn{c: c}
+			e.conns[to] = tc
+			e.mu.Unlock()
+		}
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := writeFrame(tc.c, e.id, data); err != nil {
+		// Drop the broken connection so the next Send redials.
+		e.mu.Lock()
+		if e.conns[to] == tc {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		tc.c.Close()
+		return fmt.Errorf("send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close shuts the listener and all connections, then waits for reader
+// goroutines to exit.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = make(map[string]*tcpConn)
+	inbound := make([]net.Conn, 0, len(e.accepted))
+	for c := range e.accepted {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+	err := e.listener.Close()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	// Accepted (inbound) connections must be closed too, or their read
+	// loops would wait forever on peers that never hang up.
+	for _, c := range inbound {
+		c.Close()
+	}
+	e.wg.Wait()
+	return err
+}

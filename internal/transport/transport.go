@@ -1,0 +1,128 @@
+// Package transport provides real message transports for live CSCW
+// sessions: an in-memory hub for same-process use and a TCP transport with
+// length-prefixed framing for distributed deployment (cmd/sessiond,
+// cmd/cscwctl). Simulated-network experiments use package netsim instead;
+// both expose the same handler-style endpoint shape so the layers above can
+// run over either.
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common transport errors.
+var (
+	ErrClosed      = errors.New("transport: endpoint closed")
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+)
+
+// Handler consumes inbound messages. Handlers must not block for long; slow
+// consumers delay only their own queue.
+type Handler func(from string, data []byte)
+
+// Endpoint is a bidirectional message port identified by a name.
+type Endpoint interface {
+	// ID returns the endpoint's stable identifier.
+	ID() string
+	// Send transmits data to the named peer.
+	Send(to string, data []byte) error
+	// SetHandler installs the inbound message handler. It must be called
+	// before the first message arrives.
+	SetHandler(h Handler)
+	// Close releases resources and stops delivery.
+	Close() error
+}
+
+// Envelope is the standard typed wire format used by layers above the raw
+// transport: a type tag plus a JSON body.
+type Envelope struct {
+	Type string          `json:"type"`
+	Body json.RawMessage `json:"body"`
+}
+
+// Marshal builds an envelope of the given type around body.
+func Marshal(msgType string, body any) ([]byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("marshal %s body: %w", msgType, err)
+	}
+	env := Envelope{Type: msgType, Body: raw}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("marshal %s envelope: %w", msgType, err)
+	}
+	return data, nil
+}
+
+// Unmarshal parses an envelope from wire data.
+func Unmarshal(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope{}, fmt.Errorf("unmarshal envelope: %w", err)
+	}
+	return env, nil
+}
+
+// Decode parses an envelope body into out.
+func Decode(env Envelope, out any) error {
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return fmt.Errorf("decode %s body: %w", env.Type, err)
+	}
+	return nil
+}
+
+// queue is an unbounded FIFO with blocking receive, used to decouple senders
+// from handler execution without picking an arbitrary channel capacity.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []item
+	closed bool
+}
+
+type item struct {
+	from string
+	data []byte
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(it item) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, it)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until an item is available or the queue closes.
+func (q *queue) pop() (item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return item{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,443 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	type body struct {
+		X int    `json:"x"`
+		S string `json:"s"`
+	}
+	data, err := Marshal("test", body{X: 7, S: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != "test" {
+		t.Errorf("Type = %q", env.Type)
+	}
+	var out body
+	if err := Decode(env, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.X != 7 || out.S != "hi" {
+		t.Errorf("body = %+v", out)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Error("want error for garbage envelope")
+	}
+}
+
+func TestHubBasicDelivery(t *testing.T) {
+	h := NewHub()
+	a := h.MustAttach("a")
+	b := h.MustAttach("b")
+	defer a.Close()
+	defer b.Close()
+
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(from string, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, from+":"+string(data))
+	})
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	}, "delivery")
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0] != "a:hello" {
+		t.Errorf("got %q", got[0])
+	}
+}
+
+func TestHubFIFOPerReceiver(t *testing.T) {
+	h := NewHub()
+	a := h.MustAttach("a")
+	b := h.MustAttach("b")
+	defer a.Close()
+	defer b.Close()
+
+	const n = 200
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(_ string, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, string(data))
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	}, "all messages")
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if got[i] != fmt.Sprintf("%d", i) {
+			t.Fatalf("FIFO violated at %d: %q", i, got[i])
+		}
+	}
+}
+
+func TestHubUnknownPeerAndDuplicate(t *testing.T) {
+	h := NewHub()
+	a := h.MustAttach("a")
+	defer a.Close()
+	if err := a.Send("ghost", []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("Send to ghost = %v", err)
+	}
+	if _, err := h.Attach("a"); err == nil {
+		t.Error("duplicate attach should fail")
+	}
+}
+
+func TestHubSendAfterClose(t *testing.T) {
+	h := NewHub()
+	a := h.MustAttach("a")
+	h.MustAttach("b")
+	a.Close()
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestHubSendToClosedPeer(t *testing.T) {
+	h := NewHub()
+	a := h.MustAttach("a")
+	b := h.MustAttach("b")
+	defer a.Close()
+	b.Close()
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Error("send to closed peer should fail")
+	}
+}
+
+func TestHubBufferCopied(t *testing.T) {
+	h := NewHub()
+	a := h.MustAttach("a")
+	b := h.MustAttach("b")
+	defer a.Close()
+	defer b.Close()
+	var mu sync.Mutex
+	var got string
+	b.SetHandler(func(_ string, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = string(data)
+	})
+	buf := []byte("orig")
+	a.Send("b", buf)
+	copy(buf, "XXXX") // mutate after send
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got != ""
+	}, "delivery")
+	mu.Lock()
+	defer mu.Unlock()
+	if got != "orig" {
+		t.Errorf("got %q, want orig (buffer should be copied)", got)
+	}
+}
+
+func TestHubPeers(t *testing.T) {
+	h := NewHub()
+	a := h.MustAttach("a")
+	b := h.MustAttach("b")
+	defer a.Close()
+	defer b.Close()
+	peers := h.Peers()
+	if len(peers) != 2 {
+		t.Errorf("Peers = %v", peers)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	book := NewAddressBook()
+	a, err := ListenTCP("a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("b", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(from string, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, from+":"+string(data))
+	})
+	// b replies to a over its own outbound connection.
+	var amu sync.Mutex
+	var areply string
+	a.SetHandler(func(from string, data []byte) {
+		amu.Lock()
+		defer amu.Unlock()
+		areply = from + ":" + string(data)
+	})
+
+	if err := a.Send("b", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	}, "tcp delivery")
+	if err := b.Send("a", []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		amu.Lock()
+		defer amu.Unlock()
+		return areply != ""
+	}, "tcp reply")
+	amu.Lock()
+	defer amu.Unlock()
+	if areply != "b:pong" {
+		t.Errorf("reply = %q", areply)
+	}
+}
+
+func TestTCPManyMessagesOrdered(t *testing.T) {
+	book := NewAddressBook()
+	a, err := ListenTCP("a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("b", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const n = 500
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(_ string, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, string(data))
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte(fmt.Sprintf("m%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	}, "all tcp messages")
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if got[i] != fmt.Sprintf("m%04d", i) {
+			t.Fatalf("order violated at %d: %q", i, got[i])
+		}
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	book := NewAddressBook()
+	a, err := ListenTCP("a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("nobody", []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("Send = %v", err)
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	book := NewAddressBook()
+	a, err := ListenTCP("a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP("b", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Close()
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v", err)
+	}
+}
+
+func TestAddressBook(t *testing.T) {
+	book := NewAddressBook()
+	if _, ok := book.Lookup("x"); ok {
+		t.Error("empty book should miss")
+	}
+	book.Set("x", "1.2.3.4:5")
+	addr, ok := book.Lookup("x")
+	if !ok || addr != "1.2.3.4:5" {
+		t.Errorf("Lookup = %q %v", addr, ok)
+	}
+}
+
+func BenchmarkHubSend(b *testing.B) {
+	h := NewHub()
+	src := h.MustAttach("src")
+	dst := h.MustAttach("dst")
+	defer src.Close()
+	defer dst.Close()
+	done := make(chan struct{})
+	count := 0
+	dst.SetHandler(func(string, []byte) {
+		count++
+		if count == b.N {
+			close(done)
+		}
+	})
+	payload := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send("dst", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestEndpointIdentity(t *testing.T) {
+	h := NewHub()
+	m := h.MustAttach("mem-id")
+	defer m.Close()
+	if m.ID() != "mem-id" {
+		t.Errorf("mem ID = %q", m.ID())
+	}
+	book := NewAddressBook()
+	tcp, err := ListenTCP("tcp-id", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	if tcp.ID() != "tcp-id" {
+		t.Errorf("tcp ID = %q", tcp.ID())
+	}
+	if tcp.Addr() == "" {
+		t.Error("empty Addr")
+	}
+	if addr, ok := book.Lookup("tcp-id"); !ok || addr != tcp.Addr() {
+		t.Error("listen address not registered")
+	}
+}
+
+func TestDecodeBadBody(t *testing.T) {
+	data, _ := Marshal("t", map[string]any{"x": "string"})
+	env, _ := Unmarshal(data)
+	var out struct {
+		X int `json:"x"`
+	}
+	if err := Decode(env, &out); err == nil {
+		t.Error("type-mismatched decode should fail")
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	book := NewAddressBook()
+	a, err := ListenTCP("a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Register an address nobody listens on.
+	book.Set("dead", "127.0.0.1:1")
+	if err := a.Send("dead", []byte("x")); err == nil {
+		t.Error("dial to dead address should fail")
+	}
+}
+
+func TestTCPSendAfterPeerRestart(t *testing.T) {
+	book := NewAddressBook()
+	a, err := ListenTCP("a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("b", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// b goes away; the cached conn breaks; the first send may fail, after
+	// which a redial is attempted on the next send.
+	bAddr := b.Addr()
+	b.Close()
+	b2, err := ListenTCP("b", bAddr, book)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", bAddr, err)
+	}
+	defer b2.Close()
+	got := make(chan string, 4)
+	b2.SetHandler(func(from string, data []byte) { got <- string(data) })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send("b", []byte("two")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send never recovered after peer restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case msg := <-got:
+		if msg != "two" {
+			t.Errorf("got %q", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never arrived after restart")
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGenerateEditsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := DefaultEditProfile([]string{"alice", "bob", "carol"})
+	ops := GenerateEdits(rng, p)
+	if len(ops) != 3 {
+		t.Fatalf("users = %d", len(ops))
+	}
+	for user, list := range ops {
+		if len(list) != p.OpsPerUser {
+			t.Errorf("%s ops = %d, want %d", user, len(list), p.OpsPerUser)
+		}
+		for _, op := range list {
+			if op.Pos < 0 || op.Pos >= p.DocLen {
+				t.Fatalf("pos %d out of range", op.Pos)
+			}
+			if op.Section < 0 || op.Section >= p.Sections {
+				t.Fatalf("section %d out of range", op.Section)
+			}
+			if op.Kind == OpInsert && op.Text == "" {
+				t.Fatal("insert without text")
+			}
+			if op.User != user {
+				t.Fatalf("op user %q under key %q", op.User, user)
+			}
+		}
+	}
+}
+
+func TestGenerateEditsLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := DefaultEditProfile([]string{"u0", "u1"})
+	p.Locality = 1.0
+	p.Sections = 2
+	p.OpsPerUser = 100
+	ops := GenerateEdits(rng, p)
+	for _, op := range ops["u0"] {
+		if op.Section != 0 {
+			t.Fatalf("u0 with locality 1.0 hit section %d", op.Section)
+		}
+	}
+	for _, op := range ops["u1"] {
+		if op.Section != 1 {
+			t.Fatalf("u1 with locality 1.0 hit section %d", op.Section)
+		}
+	}
+}
+
+func TestGenerateEditsDeterministic(t *testing.T) {
+	p := DefaultEditProfile([]string{"a", "b"})
+	g1 := GenerateEdits(rand.New(rand.NewSource(9)), p)
+	g2 := GenerateEdits(rand.New(rand.NewSource(9)), p)
+	for user := range g1 {
+		for i := range g1[user] {
+			if g1[user][i] != g2[user][i] {
+				t.Fatalf("nondeterministic at %s[%d]", user, i)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 1.5, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50]*2 {
+		t.Errorf("Zipf not skewed: head=%d mid=%d", counts[0], counts[50])
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const lambda = 4.0
+	total := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		total += Poisson(rng, lambda)
+	}
+	mean := float64(total) / n
+	if mean < 3.7 || mean > 4.3 {
+		t.Errorf("Poisson mean = %.2f, want ~4", mean)
+	}
+}
+
+func TestGenerateFlights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	flights := GenerateFlights(rng, 30*time.Minute, 2.0, 4)
+	if len(flights) < 30 {
+		t.Fatalf("flights = %d, expected roughly 60", len(flights))
+	}
+	seen := make(map[string]bool)
+	for _, f := range flights {
+		if seen[f.Callsign] {
+			t.Fatalf("duplicate callsign %s", f.Callsign)
+		}
+		seen[f.Callsign] = true
+		if f.Arrive > 31*time.Minute {
+			t.Fatalf("arrival %v beyond horizon", f.Arrive)
+		}
+		if len(f.Sectors) == 0 {
+			t.Fatal("flight with no sectors")
+		}
+		for _, s := range f.Sectors {
+			if s < 0 || s >= 4 {
+				t.Fatalf("sector %d out of range", s)
+			}
+		}
+		if f.Updates < 2 {
+			t.Fatalf("updates = %d", f.Updates)
+		}
+	}
+}
+
+func TestGenerateFloorRequestsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	reqs := GenerateFloorRequests(rng, []string{"a", "b", "c"}, 10*time.Minute, 30*time.Second, 15*time.Second)
+	if len(reqs) < 10 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].At < reqs[i-1].At {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+	users := make(map[string]bool)
+	for _, r := range reqs {
+		users[r.User] = true
+		if r.At >= 10*time.Minute {
+			t.Fatalf("request at %v beyond horizon", r.At)
+		}
+	}
+	if len(users) != 3 {
+		t.Errorf("users seen = %d", len(users))
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" || OpRead.String() != "read" {
+		t.Error("OpKind names wrong")
+	}
+}
