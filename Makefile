@@ -1,8 +1,10 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test race bench experiments examples cover
+.PHONY: all check build vet test race bench experiments examples cover
 
-all: build vet test
+all: check
+
+check: build vet test race
 
 build:
 	go build ./...
@@ -14,7 +16,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/transport ./internal/session .
+	go test -race ./...
 
 bench:
 	go test -run XXXNONE -bench=. -benchmem ./...

@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"repro/internal/exps"
+	"repro/internal/fabric"
+	"repro/internal/netsim"
 )
 
 func benchExperiment(b *testing.B, run func(seed int64) exps.Table) {
@@ -63,3 +65,43 @@ func BenchmarkA1AwarenessAblation(b *testing.B) { benchExperiment(b, exps.RunA1A
 
 // BenchmarkA2HoardPolicies regenerates the hoard-policy ablation.
 func BenchmarkA2HoardPolicies(b *testing.B) { benchExperiment(b, exps.RunA2HoardPolicies) }
+
+// BenchmarkFabricSendRecv prices the fabric seam itself: one message sent
+// and delivered over the simulator, with a bare endpoint and with the full
+// three-deep middleware chain (metrics, fault injector, trace tap). The
+// delta is the per-message cost of observability.
+func BenchmarkFabricSendRecv(b *testing.B) {
+	run := func(b *testing.B, mws func() []fabric.Middleware) {
+		sim := netsim.New(1, netsim.LocalLink)
+		src := fabric.Wrap(fabric.FromSim(sim.MustAddNode("a")), mws()...)
+		dst := fabric.Wrap(fabric.FromSim(sim.MustAddNode("b")), mws()...)
+		recv := 0
+		dst.SetHandler(func(from string, payload any, size int) { recv++ })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := src.Send("b", i, 8); err != nil {
+				b.Fatal(err)
+			}
+			if i%1024 == 1023 {
+				sim.Run() // drain the event queue in batches
+			}
+		}
+		sim.Run()
+		if recv != b.N {
+			b.Fatalf("delivered %d of %d", recv, b.N)
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		run(b, func() []fabric.Middleware { return nil })
+	})
+	b.Run("mw3", func(b *testing.B) {
+		run(b, func() []fabric.Middleware {
+			return []fabric.Middleware{
+				fabric.NewMetrics().Middleware(),
+				fabric.NewFaults(1).Middleware(),
+				fabric.Tap(nil, nil),
+			}
+		})
+	})
+}

@@ -21,9 +21,9 @@ import (
 	"log"
 	"os"
 	"strings"
-	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/session"
 	"repro/internal/transport"
 )
@@ -47,14 +47,17 @@ func run(args []string) error {
 
 	book := transport.NewAddressBook()
 	book.Set("host", *hostAddr)
-	ep, err := transport.ListenTCP(*user, "127.0.0.1:0", book)
+	tep, err := transport.ListenTCP(*user, "127.0.0.1:0", book)
 	if err != nil {
 		return err
 	}
+
+	codec := session.NewWireCodec()
+	fabric.RegisterBase(codec)
+	ep := fabric.FromTransport(tep, codec)
 	defer ep.Close()
 
-	var mu sync.Mutex
-	cli := session.NewClient(session.NewEndpointConduit(ep), "host")
+	cli := session.NewClient(ep, "host")
 	cli.OnItem = func(it session.Item) {
 		fmt.Printf("[#%d %s] %s: %s\n", it.Seq, it.Kind, it.From, it.Body)
 	}
@@ -69,28 +72,12 @@ func run(args []string) error {
 		fmt.Printf("-- joined (%s mode); members: %s --\n", m, strings.Join(members, ", "))
 		close(joined)
 	}
-	ep.SetHandler(func(from string, data []byte) {
-		payload, err := session.DecodePayload(data)
-		if err != nil || payload == nil {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		cli.Receive(from, payload)
-	})
 
 	// Introduce ourselves so the host can dial back, then join.
-	hello, err := transport.Marshal("hello", ep.Addr())
-	if err != nil {
-		return err
-	}
-	if err := ep.Send("host", hello); err != nil {
+	if err := ep.Send("host", &fabric.Hello{Addr: tep.Addr()}, 0); err != nil {
 		return fmt.Errorf("reach sessiond at %s: %w", *hostAddr, err)
 	}
-	mu.Lock()
-	err = cli.Join(0)
-	mu.Unlock()
-	if err != nil {
+	if err := cli.Join(0); err != nil {
 		return err
 	}
 	select {
@@ -102,7 +89,7 @@ func run(args []string) error {
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		mu.Lock()
+		var err error
 		switch {
 		case line == "":
 		case line == "/poll":
@@ -113,12 +100,10 @@ func run(args []string) error {
 			err = cli.SetPresence(session.Active, 0)
 		case line == "/leave":
 			err = cli.Leave(0)
-			mu.Unlock()
 			return err
 		default:
 			err = cli.Post("chat", line, 0)
 		}
-		mu.Unlock()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		}

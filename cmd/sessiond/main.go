@@ -5,12 +5,12 @@
 //
 // Usage:
 //
-//	sessiond [-listen 127.0.0.1:7480] [-mode sync|async]
+//	sessiond [-listen 127.0.0.1:7480] [-mode sync|async] [-v]
 //
 // Protocol: length-prefixed frames (internal/transport) carrying JSON
-// envelopes (internal/session wire tags). Clients register their own listen
-// address in their join item body? No — TCP replies reuse the address book:
-// clients pass their dialable address as the first frame via hello.
+// envelopes (internal/fabric codec, internal/session wire tags). A client's
+// first frame is a fabric.Hello carrying its dialable address so the host
+// can push back to it; a Tap middleware feeds those into the address book.
 package main
 
 import (
@@ -18,9 +18,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/session"
 	"repro/internal/transport"
 )
@@ -35,6 +35,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sessiond", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7480", "listen address")
 	modeFlag := fs.String("mode", "sync", "session mode: sync or async")
+	verbose := fs.Bool("v", false, "log every frame sent and received")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,44 +45,38 @@ func run(args []string) error {
 	}
 
 	book := transport.NewAddressBook()
-	ep, err := transport.ListenTCP("host", *listen, book)
+	tep, err := transport.ListenTCP("host", *listen, book)
 	if err != nil {
 		return err
 	}
+
+	codec := session.NewWireCodec()
+	fabric.RegisterBase(codec)
+
+	// Middleware stack: hello interception (address-book registration) and,
+	// with -v, a trace of every frame.
+	mws := []fabric.Middleware{
+		fabric.Tap(nil, func(from string, payload any, size int) {
+			if h, ok := payload.(*fabric.Hello); ok && h.Addr != "" {
+				book.Set(from, h.Addr)
+				log.Printf("hello from %s at %s", from, h.Addr)
+			}
+		}),
+	}
+	if *verbose {
+		mws = append(mws, fabric.Logging(log.Printf))
+	}
+	ep := fabric.Wrap(fabric.FromTransport(tep, codec), mws...)
 	defer ep.Close()
 
-	var mu sync.Mutex
 	start := time.Now()
-	host := session.NewHost(session.NewEndpointConduit(ep), mode, func() time.Duration {
+	host := session.NewHost(ep, mode, func() time.Duration {
 		return time.Since(start)
 	})
 	host.OnItem = func(it session.Item) {
 		log.Printf("item #%d from %s (%s): %s", it.Seq, it.From, it.Kind, it.Body)
 	}
-	ep.SetHandler(func(from string, data []byte) {
-		// A client's first frame is a hello envelope carrying its dialable
-		// address, so the host can push back to it.
-		env, err := transport.Unmarshal(data)
-		if err != nil {
-			return
-		}
-		if env.Type == "hello" {
-			var addr string
-			if err := transport.Decode(env, &addr); err == nil && addr != "" {
-				book.Set(from, addr)
-				log.Printf("hello from %s at %s", from, addr)
-			}
-			return
-		}
-		payload, err := session.DecodePayload(data)
-		if err != nil || payload == nil {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		host.Receive(from, payload)
-	})
 
-	fmt.Printf("sessiond listening on %s (%s mode)\n", ep.Addr(), mode)
+	fmt.Printf("sessiond listening on %s (%s mode)\n", tep.Addr(), mode)
 	select {} // serve until killed
 }

@@ -31,10 +31,8 @@ func (k *Kernel) Bind(clientNode string, offer Offer, required qos.Params) (*OpB
 	if k.sim.Node(clientNode) == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNodeUnattached, clientNode)
 	}
-	if !k.nodes[clientNode] {
-		if err := k.AttachNode(clientNode); err != nil {
-			return nil, err
-		}
+	if err := k.AttachNode(clientNode); err != nil {
+		return nil, err
 	}
 	k.nextBnd++
 	b := &OpBinding{
@@ -77,7 +75,11 @@ func (b *OpBinding) Invoke(op, arg string, done func(result string, err error)) 
 	}
 	k.emit(Event{Kind: EvInvoke, Binding: b.id, Client: b.client, Object: b.offer.Object, Op: op, At: k.sim.Now()})
 	msg := &invokeMsg{ID: id, Object: b.offer.Object, Iface: b.offer.Interface, Op: op, Caller: b.client, Arg: arg}
-	return k.sim.Node(b.client).Send(serverNode, msg, len(arg)+48)
+	ep, ok := k.eps[b.client]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnattached, b.client)
+	}
+	return ep.Send(serverNode, msg, len(arg)+48)
 }
 
 // Unbind tears the binding down.

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/mgmt"
 	"repro/internal/netsim"
 	"repro/internal/qos"
@@ -128,7 +129,8 @@ type Kernel struct {
 	mgr     *mgmt.Manager
 	objects map[string]*Object
 	offers  []Offer
-	nodes   map[string]bool // nodes whose handlers the kernel owns
+	eps     map[string]fabric.Endpoint // endpoints the kernel messages through
+	mws     []fabric.Middleware        // applied to endpoints at attach time
 	nextBnd int
 	nextInv uint64
 	pending map[uint64]*pendingInv
@@ -166,20 +168,37 @@ func NewKernel(sim *netsim.Sim, mgr *mgmt.Manager) *Kernel {
 		sim:     sim,
 		mgr:     mgr,
 		objects: make(map[string]*Object),
-		nodes:   make(map[string]bool),
+		eps:     make(map[string]fabric.Endpoint),
 		pending: make(map[uint64]*pendingInv),
 	}
 }
 
+// Use appends middlewares applied to every endpoint the kernel attaches
+// from now on (metrics, fault injection, tracing). Call it before attaching
+// nodes.
+func (k *Kernel) Use(mw ...fabric.Middleware) { k.mws = append(k.mws, mw...) }
+
 // AttachNode claims a simulated node for kernel messaging (server or
-// client side). The kernel installs the node's handler.
+// client side), wrapping it in a fabric endpoint plus any configured
+// middleware.
 func (k *Kernel) AttachNode(id string) error {
+	if _, ok := k.eps[id]; ok {
+		return nil
+	}
 	n := k.sim.Node(id)
 	if n == nil {
 		return fmt.Errorf("core: %w %q", netsim.ErrUnknownNode, id)
 	}
-	k.nodes[id] = true
-	n.SetHandler(func(m netsim.Msg) { k.receive(m) })
+	return k.AttachEndpoint(fabric.FromSim(n))
+}
+
+// AttachEndpoint claims an arbitrary fabric endpoint for kernel messaging,
+// applying the kernel's middleware chain and installing its handler. This
+// is how a kernel runs over substrates other than the simulator.
+func (k *Kernel) AttachEndpoint(ep fabric.Endpoint) error {
+	ep = fabric.Wrap(ep, k.mws...)
+	k.eps[ep.ID()] = ep
+	ep.SetHandler(func(from string, payload any, size int) { k.receive(from, payload) })
 	return nil
 }
 
@@ -198,10 +217,8 @@ func (k *Kernel) CreateObject(id string, expected map[string]int) (*Object, erro
 	if err != nil {
 		return nil, fmt.Errorf("place %s: %w", id, err)
 	}
-	if !k.nodes[node] {
-		if err := k.AttachNode(node); err != nil {
-			return nil, err
-		}
+	if err := k.AttachNode(node); err != nil {
+		return nil, err
 	}
 	o := &Object{ID: id, Cluster: cluster, ifaces: make(map[string]*Interface)}
 	k.objects[id] = o
@@ -281,11 +298,11 @@ func (k *Kernel) Import(serviceType string, required qos.Params) ([]Offer, error
 	return out, nil
 }
 
-// receive dispatches kernel wire messages on any attached node.
-func (k *Kernel) receive(m netsim.Msg) {
-	switch msg := m.Payload.(type) {
+// receive dispatches kernel wire messages on any attached endpoint.
+func (k *Kernel) receive(from string, payload any) {
+	switch msg := payload.(type) {
 	case *invokeMsg:
-		k.serve(m.From, msg)
+		k.serve(from, msg)
 	case *replyMsg:
 		k.complete(msg)
 	}
@@ -312,7 +329,11 @@ func (k *Kernel) serve(from string, msg *invokeMsg) {
 	if err != nil {
 		return
 	}
-	_ = k.sim.Node(node).Send(from, rep, len(rep.Result)+32)
+	ep, ok := k.eps[node]
+	if !ok {
+		return // hosting node was never attached; reply is unroutable
+	}
+	_ = ep.Send(from, rep, len(rep.Result)+32)
 }
 
 func (k *Kernel) complete(msg *replyMsg) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 	"repro/internal/qos"
 	"repro/internal/stream"
@@ -97,16 +98,16 @@ func RunE6StreamQoS(seed int64) Table {
 		vn := sim.MustAddNode("vdst")
 		sim.SetLink("vsrc", "vdst", netsim.Link{Latency: ms(90)})
 		tiers := e6Tiers()
-		audio, _ := stream.NewSource(sim, sim.Node("asrc"), "a", "audio", []string{"adst"}, tiers[:1])
-		video, _ := stream.NewSource(sim, sim.Node("vsrc"), "v", "video",
+		audio, _ := stream.NewSource(sim, fabric.FromSim(sim.Node("asrc")), "a", "audio", []string{"adst"}, tiers[:1])
+		video, _ := stream.NewSource(sim, fabric.FromSim(sim.Node("vsrc")), "v", "video",
 			[]string{"vdst"}, []stream.Tier{{Name: "v", Interval: ms(40), Size: 1500}})
 		asink := stream.NewSink(sim, "adst", ms(20), ms(40))
 		vsink := stream.NewSink(sim, "vdst", ms(40), ms(40))
 		if synced {
 			stream.NewSyncGroup(asink, vsink)
 		}
-		an.SetHandler(asink.Handle)
-		vn.SetHandler(vsink.Handle)
+		fabric.FromSim(an).SetHandler(asink.Handle)
+		fabric.FromSim(vn).SetHandler(vsink.Handle)
 		var maxSkew time.Duration
 		asink.OnPlay = func(f *stream.Frame, _ time.Duration) {
 			if f != nil && vsink.LastGen() > 0 {
@@ -135,9 +136,9 @@ func RunE6StreamQoS(seed int64) Table {
 		sim := netsim.New(seed+7, netsim.Link{Latency: ms(10), Jitter: ms(25)})
 		sim.MustAddNode("src")
 		dst := sim.MustAddNode("dst")
-		src, _ := stream.NewSource(sim, sim.Node("src"), "a", "audio", []string{"dst"}, e6Tiers()[:1])
+		src, _ := stream.NewSource(sim, fabric.FromSim(sim.Node("src")), "a", "audio", []string{"dst"}, e6Tiers()[:1])
 		sink := stream.NewSink(sim, "dst", ms(20), depth)
-		dst.SetHandler(sink.Handle)
+		fabric.FromSim(dst).SetHandler(sink.Handle)
 		src.Start()
 		sim.At(5*time.Second, src.Stop)
 		sim.Run()

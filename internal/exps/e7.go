@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/group"
 	"repro/internal/netsim"
 )
@@ -57,10 +58,8 @@ func runLossyFIFO(seed int64) (delivered, retrans int) {
 	// Self-delivery (loopback) is reliable; only the radio hop is lossy.
 	sim.SetBiLink("a", "a", netsim.Link{Latency: time.Millisecond})
 	sim.SetBiLink("b", "b", netsim.Link{Latency: time.Millisecond})
-	ma, _ := group.NewMember(group.Config{Conduit: na, Ordering: group.FIFO, Deliver: func(group.Delivery) {}})
-	mb, _ := group.NewMember(group.Config{Conduit: nb, Ordering: group.FIFO, Deliver: func(group.Delivery) { delivered++ }})
-	na.SetHandler(func(m netsim.Msg) { ma.Receive(m.From, m.Payload) })
-	nb.SetHandler(func(m netsim.Msg) { mb.Receive(m.From, m.Payload) })
+	ma, _ := group.NewMember(group.Config{Endpoint: fabric.FromSim(na), Ordering: group.FIFO, Deliver: func(group.Delivery) {}})
+	mb, _ := group.NewMember(group.Config{Endpoint: fabric.FromSim(nb), Ordering: group.FIFO, Deliver: func(group.Delivery) { delivered++ }})
 	v := group.NewView(1, []string{"a", "b"})
 	ma.InstallView(v)
 	mb.InstallView(v)
@@ -89,7 +88,7 @@ func runMulticast(seed int64, n int, ord group.Ordering) (mean, p95 time.Duratio
 		ids = append(ids, id)
 		node := sim.MustAddNode(id)
 		m, _ := group.NewMember(group.Config{
-			Conduit:  node,
+			Endpoint: fabric.FromSim(node),
 			Ordering: ord,
 			Deliver: func(d group.Delivery) {
 				delivered++
@@ -98,7 +97,6 @@ func runMulticast(seed int64, n int, ord group.Ordering) (mean, p95 time.Duratio
 				}
 			},
 		})
-		node.SetHandler(func(msg netsim.Msg) { m.Receive(msg.From, msg.Payload) })
 		members[id] = m
 	}
 	v := group.NewView(1, ids)
@@ -139,13 +137,12 @@ func runGroupRPC(seed int64, bounded bool) (label, detail string) {
 		ids = append(ids, id)
 		node := sim.MustAddNode(id)
 		m, _ := group.NewMember(group.Config{
-			Conduit:  node,
+			Endpoint: fabric.FromSim(node),
 			Timer:    group.TimerFunc(func(d time.Duration, fn func()) { sim.At(d, fn) }),
 			Ordering: group.FIFO,
 			Deliver:  func(group.Delivery) {},
 		})
 		m.Handle("status", func(from string, body any) (any, error) { return "ok", nil })
-		node.SetHandler(func(msg netsim.Msg) { m.Receive(msg.From, msg.Payload) })
 		members[id] = m
 	}
 	v := group.NewView(1, ids)

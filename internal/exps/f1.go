@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 	"repro/internal/session"
 )
@@ -68,21 +69,19 @@ func RunF1SpaceTime(seed int64) Table {
 func runQuadrant(seed int64, mode session.Mode, link netsim.Link, pollGap time.Duration, posts int, horizon time.Duration) []time.Duration {
 	sim := netsim.New(seed, link)
 	hostNode := sim.MustAddNode("host")
-	host := session.NewHost(hostNode, mode, sim.Now)
-	hostNode.SetHandler(func(m netsim.Msg) { host.Receive(m.From, m.Payload) })
+	session.NewHost(fabric.FromSim(hostNode), mode, sim.Now)
 
 	postTimes := make(map[string]time.Duration)
 	var lats []time.Duration
 	clients := make(map[string]*session.Client)
 	for _, id := range []string{"alice", "bob"} {
 		node := sim.MustAddNode(id)
-		c := session.NewClient(node, "host")
+		c := session.NewClient(fabric.FromSim(node), "host")
 		c.OnItem = func(it session.Item) {
 			if at, ok := postTimes[it.Body]; ok {
 				lats = append(lats, sim.Now()-at)
 			}
 		}
-		node.SetHandler(func(m netsim.Msg) { c.Receive(m.From, m.Payload) })
 		clients[id] = c
 	}
 	clients["alice"].Join(0)
@@ -119,16 +118,13 @@ func runQuadrant(seed int64, mode session.Mode, link netsim.Link, pollGap time.D
 func transitionCost(seed int64, rebuild bool) (items int, elapsed time.Duration) {
 	sim := netsim.New(seed, netsim.WANLink)
 	hostNode := sim.MustAddNode("host")
-	host := session.NewHost(hostNode, session.Asynchronous, sim.Now)
-	hostNode.SetHandler(func(m netsim.Msg) { host.Receive(m.From, m.Payload) })
+	host := session.NewHost(fabric.FromSim(hostNode), session.Asynchronous, sim.Now)
 	received := 0
 	node := sim.MustAddNode("bob")
-	bob := session.NewClient(node, "host")
+	bob := session.NewClient(fabric.FromSim(node), "host")
 	bob.OnItem = func(session.Item) { received++ }
-	node.SetHandler(func(m netsim.Msg) { bob.Receive(m.From, m.Payload) })
 	aliceNode := sim.MustAddNode("alice")
-	alice := session.NewClient(aliceNode, "host")
-	aliceNode.SetHandler(func(m netsim.Msg) { alice.Receive(m.From, m.Payload) })
+	alice := session.NewClient(fabric.FromSim(aliceNode), "host")
 	alice.Join(0)
 	bob.Join(0)
 	sim.Run()
@@ -149,10 +145,9 @@ func transitionCost(seed int64, rebuild bool) (items int, elapsed time.Duration)
 		// Tear-down: a fresh client (no history) joins a fresh sync session
 		// view — the host replays the entire log to it.
 		node2 := sim.MustAddNode("bob2")
-		bob2 := session.NewClient(node2, "host")
+		bob2 := session.NewClient(fabric.FromSim(node2), "host")
 		got := 0
 		bob2.OnItem = func(session.Item) { got++ }
-		node2.SetHandler(func(m netsim.Msg) { bob2.Receive(m.From, m.Payload) })
 		host.SetMode(session.Synchronous)
 		bob2.Join(sim.Now())
 		sim.Run()

@@ -1,0 +1,459 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+type ping struct {
+	N    int    `json:"n"`
+	Note string `json:"note"`
+}
+
+// --- envelope (moved here from transport) -------------------------------
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	data, err := Marshal("ping", ping{N: 7, Note: "hello"})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	env, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if env.Type != "ping" {
+		t.Fatalf("type = %q, want ping", env.Type)
+	}
+	var out ping
+	if err := Decode(env, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.N != 7 || out.Note != "hello" {
+		t.Fatalf("round trip got %+v", out)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Fatal("want error for garbage input")
+	}
+}
+
+func TestDecodeBadBody(t *testing.T) {
+	env := Envelope{Type: "ping", Body: []byte(`"not an object"`)}
+	var out ping
+	if err := Decode(env, &out); err == nil {
+		t.Fatal("want error decoding string body into struct")
+	}
+}
+
+// --- codec --------------------------------------------------------------
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := NewCodec()
+	c.Register("test/ping", ping{})
+	data, err := c.Encode(&ping{N: 3, Note: "x"})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	p, ok := got.(*ping)
+	if !ok {
+		t.Fatalf("decode returned %T, want *ping", got)
+	}
+	if p.N != 3 || p.Note != "x" {
+		t.Fatalf("round trip got %+v", p)
+	}
+	// Value (non-pointer) payloads encode under the same tag.
+	if _, err := c.Encode(ping{N: 1}); err != nil {
+		t.Fatalf("value encode: %v", err)
+	}
+}
+
+func TestCodecUnknownTagSkipped(t *testing.T) {
+	c := NewCodec()
+	c.Register("test/ping", ping{})
+	data, err := Marshal("someone/elses", map[string]int{"a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("unknown tag should not error: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("unknown tag should decode to nil, got %#v", got)
+	}
+}
+
+func TestCodecUnregisteredEncodeFails(t *testing.T) {
+	c := NewCodec()
+	if _, err := c.Encode(struct{ X int }{1}); err == nil {
+		t.Fatal("want error encoding unregistered type")
+	}
+}
+
+func TestCodecGarbageDecodeFails(t *testing.T) {
+	c := NewCodec()
+	if _, err := c.Decode([]byte("}{")); err == nil {
+		t.Fatal("want error decoding garbage")
+	}
+}
+
+// --- sim adapter --------------------------------------------------------
+
+func TestFromSimRoundTrip(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	b := FromSim(sim.MustAddNode("b"))
+	var got []string
+	b.SetHandler(func(from string, payload any, size int) {
+		got = append(got, fmt.Sprintf("%s:%v:%d", from, payload, size))
+	})
+	if err := a.Send("b", "hi", 10); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	sim.Run()
+	if len(got) != 1 || got[0] != "a:hi:10" {
+		t.Fatalf("delivery = %v", got)
+	}
+}
+
+func TestFromSimBuffersBeforeHandler(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	b := FromSim(sim.MustAddNode("b"))
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run() // deliveries land with no handler installed: buffered
+	var got []any
+	b.SetHandler(func(from string, payload any, size int) { got = append(got, payload) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("buffered flush = %v, want [0 1 2]", got)
+	}
+	if d := b.Dropped(); d != 0 {
+		t.Fatalf("dropped = %d, want 0", d)
+	}
+	if sim.DroppedNoHandler() != 0 {
+		t.Fatalf("sim counted no-handler drops despite adapter: %d", sim.DroppedNoHandler())
+	}
+}
+
+func TestFromSimOverflowCountsDropped(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	b := FromSim(sim.MustAddNode("b"))
+	for i := 0; i < pendingCap+5; i++ {
+		if err := a.Send("b", i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if d := b.Dropped(); d != 5 {
+		t.Fatalf("dropped = %d, want 5", d)
+	}
+	var n int
+	b.SetHandler(func(string, any, int) { n++ })
+	if n != pendingCap {
+		t.Fatalf("flushed %d, want %d", n, pendingCap)
+	}
+}
+
+func TestFromSimClose(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	sim.MustAddNode("b")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "x", 1); err != ErrClosed {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestNetsimCountsNoHandlerDrops(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := sim.MustAddNode("a")
+	sim.MustAddNode("b") // never given a handler, raw node
+	if err := a.Send("b", "lost", 1); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if n := sim.DroppedNoHandler(); n != 1 {
+		t.Fatalf("DroppedNoHandler = %d, want 1", n)
+	}
+}
+
+// --- transport adapter --------------------------------------------------
+
+func newTestCodec() *Codec {
+	c := NewCodec()
+	c.Register("test/ping", ping{})
+	return c
+}
+
+func TestFromTransportRoundTrip(t *testing.T) {
+	hub := transport.NewHub()
+	c := newTestCodec()
+	a := FromTransport(hub.MustAttach("a"), c)
+	b := FromTransport(hub.MustAttach("b"), c)
+	defer a.Close()
+	defer b.Close()
+
+	got := make(chan ping, 1)
+	b.SetHandler(func(from string, payload any, size int) {
+		if p, ok := payload.(*ping); ok && from == "a" {
+			got <- *p
+		}
+	})
+	if err := a.Send("b", &ping{N: 9, Note: "over the wire"}, 0); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case p := <-got:
+		if p.N != 9 || p.Note != "over the wire" {
+			t.Fatalf("got %+v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for delivery")
+	}
+}
+
+func TestFromTransportBuffersBeforeHandler(t *testing.T) {
+	hub := transport.NewHub()
+	c := newTestCodec()
+	a := FromTransport(hub.MustAttach("a"), c)
+	b := FromTransport(hub.MustAttach("b"), c)
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send("b", &ping{N: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the frame has crossed the hub into b's inbox buffer.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		b.in.mu.Lock()
+		n := len(b.in.pending)
+		b.in.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := make(chan ping, 1)
+	b.SetHandler(func(from string, payload any, size int) {
+		if p, ok := payload.(*ping); ok {
+			got <- *p
+		}
+	})
+	select {
+	case p := <-got:
+		if p.N != 1 {
+			t.Fatalf("got %+v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("buffered frame never flushed")
+	}
+}
+
+func TestFromTransportRejectsUnregisteredPayload(t *testing.T) {
+	hub := transport.NewHub()
+	c := newTestCodec()
+	a := FromTransport(hub.MustAttach("a"), c)
+	defer a.Close()
+	if err := a.Send("b", struct{ X int }{1}, 0); err == nil {
+		t.Fatal("want encode error for unregistered payload type")
+	}
+}
+
+func TestFromTransportCountsUndecodableFrames(t *testing.T) {
+	hub := transport.NewHub()
+	c := newTestCodec()
+	raw := hub.MustAttach("raw")
+	b := FromTransport(hub.MustAttach("b"), c)
+	defer raw.Close()
+	defer b.Close()
+	b.SetHandler(func(string, any, int) {})
+
+	if err := raw.Send("b", []byte("not an envelope")); err != nil {
+		t.Fatal(err)
+	}
+	unknown, _ := Marshal("nobody/home", 1)
+	if err := raw.Send("b", unknown); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Dropped() == 2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("dropped = %d, want 2", b.Dropped())
+}
+
+// --- middleware ---------------------------------------------------------
+
+func TestWrapOrderOutermostFirst(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	base := FromSim(sim.MustAddNode("a"))
+	sim.MustAddNode("b")
+	var order []string
+	mark := func(name string) Middleware {
+		return Tap(func(string, any, int) { order = append(order, name) }, nil)
+	}
+	ep := Wrap(base, mark("outer"), mark("inner"))
+	if err := ep.Send("b", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+	if ep.ID() != "a" {
+		t.Fatalf("wrapped ID = %q", ep.ID())
+	}
+}
+
+func TestMetricsMiddleware(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	bNode := sim.MustAddNode("b")
+	b := FromSim(bNode)
+	m := NewMetrics()
+	wb := Wrap(b, m.Middleware())
+	wa := Wrap(a, NewMetrics().Middleware())
+
+	var got int
+	wb.SetHandler(func(string, any, int) { got++ })
+	for i := 0; i < 4; i++ {
+		if err := wa.Send("b", i, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	s := m.Snapshot()
+	if got != 4 || s.Recv != 4 || s.RecvBytes != 100 {
+		t.Fatalf("recv snapshot = %+v (handler saw %d)", s, got)
+	}
+	if s.Dropped != 0 {
+		t.Fatalf("dropped = %d", s.Dropped)
+	}
+}
+
+func TestMetricsExposesDroppedThroughChain(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	b := FromSim(sim.MustAddNode("b"))
+	m := NewMetrics()
+	// No handler ever installed on b; overflow the inbox.
+	Wrap(b, Tap(nil, nil), m.Middleware())
+	for i := 0; i < pendingCap+3; i++ {
+		if err := a.Send("b", i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if d := m.Snapshot().Dropped; d != 3 {
+		t.Fatalf("snapshot dropped = %d, want 3", d)
+	}
+}
+
+func TestFaultsDropEveryN(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	b := FromSim(sim.MustAddNode("b"))
+	f := NewFaults(42).DropEveryN(3)
+	wa := Wrap(a, f.Middleware())
+	var got int
+	b.SetHandler(func(string, any, int) { got++ })
+	for i := 0; i < 9; i++ {
+		if err := wa.Send("b", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if got != 6 {
+		t.Fatalf("delivered %d, want 6", got)
+	}
+	if d, _ := f.Injected(); d != 3 {
+		t.Fatalf("injected drops = %d, want 3", d)
+	}
+}
+
+func TestFaultsDelayOverSim(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	b := FromSim(sim.MustAddNode("b"))
+	f := NewFaults(1).Delay(50 * time.Millisecond).
+		SetTimer(func(d time.Duration, fn func()) { sim.At(d, fn) })
+	wa := Wrap(a, f.Middleware())
+	var at time.Duration
+	b.SetHandler(func(string, any, int) { at = sim.Now() })
+	if err := wa.Send("b", "late", 1); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if at < 50*time.Millisecond {
+		t.Fatalf("delivered at %v, want >= 50ms", at)
+	}
+	if _, delayed := f.Injected(); delayed != 1 {
+		t.Fatalf("delayed = %d, want 1", delayed)
+	}
+}
+
+func TestLoggingMiddleware(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	a := FromSim(sim.MustAddNode("a"))
+	b := FromSim(sim.MustAddNode("b"))
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	wa := Wrap(a, Logging(logf))
+	wb := Wrap(b, Logging(logf))
+	wb.SetHandler(func(string, any, int) {})
+	if err := wa.Send("b", "x", 3); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 ||
+		!strings.Contains(lines[0], "send to=b") ||
+		!strings.Contains(lines[1], "recv from=a") {
+		t.Fatalf("log lines = %v", lines)
+	}
+}
+
+func TestRegisterBaseHello(t *testing.T) {
+	c := NewCodec()
+	RegisterBase(c)
+	data, err := c.Encode(&Hello{Addr: "127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := got.(*Hello)
+	if !ok || h.Addr != "127.0.0.1:9" {
+		t.Fatalf("got %#v", got)
+	}
+}

@@ -1,0 +1,281 @@
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// --- metrics ------------------------------------------------------------
+
+// Metrics collects per-hop counters and latencies for one wrapped endpoint.
+// Create with NewMetrics, install with m.Middleware() inside Wrap, read
+// with Snapshot.
+type Metrics struct {
+	mu         sync.Mutex
+	base       Endpoint
+	sent       uint64
+	recv       uint64
+	sendErrs   uint64
+	sentBytes  uint64
+	recvBytes  uint64
+	sendLat    time.Duration
+	handlerLat time.Duration
+}
+
+// MetricsSnapshot is a point-in-time copy of the collected counters.
+type MetricsSnapshot struct {
+	Sent, Recv, SendErrs uint64
+	SentBytes, RecvBytes uint64
+	// Dropped is probed from the wrapped chain's substrate adapter:
+	// deliveries lost to no-handler overflow or decode failure.
+	Dropped uint64
+	// AvgSendLatency is wall time spent inside the inner Send (for the
+	// simulator this is scheduling cost, not network latency).
+	AvgSendLatency time.Duration
+	// AvgHandlerLatency is wall time the application handler held a
+	// delivery.
+	AvgHandlerLatency time.Duration
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Middleware returns the wrapping middleware. A Metrics instance is meant
+// to observe a single endpoint; wrapping several aggregates their counts
+// but the drop probe follows only the last one wrapped.
+func (m *Metrics) Middleware() Middleware {
+	return func(inner Endpoint) Endpoint {
+		m.mu.Lock()
+		m.base = inner
+		m.mu.Unlock()
+		return &metricsEndpoint{inner: inner, m: m}
+	}
+}
+
+// Snapshot returns a copy of the counters, including the substrate's
+// dropped count.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	s := MetricsSnapshot{
+		Sent: m.sent, Recv: m.recv, SendErrs: m.sendErrs,
+		SentBytes: m.sentBytes, RecvBytes: m.recvBytes,
+	}
+	if m.sent > 0 {
+		s.AvgSendLatency = m.sendLat / time.Duration(m.sent)
+	}
+	if m.recv > 0 {
+		s.AvgHandlerLatency = m.handlerLat / time.Duration(m.recv)
+	}
+	base := m.base
+	m.mu.Unlock()
+	if base != nil {
+		s.Dropped = DroppedOf(base)
+	}
+	return s
+}
+
+type metricsEndpoint struct {
+	inner Endpoint
+	m     *Metrics
+}
+
+func (e *metricsEndpoint) ID() string       { return e.inner.ID() }
+func (e *metricsEndpoint) Unwrap() Endpoint { return e.inner }
+func (e *metricsEndpoint) Close() error     { return e.inner.Close() }
+
+func (e *metricsEndpoint) Send(to string, payload any, size int) error {
+	start := time.Now()
+	err := e.inner.Send(to, payload, size)
+	lat := time.Since(start)
+	e.m.mu.Lock()
+	if err != nil {
+		e.m.sendErrs++
+	} else {
+		e.m.sent++
+		e.m.sentBytes += uint64(size)
+		e.m.sendLat += lat
+	}
+	e.m.mu.Unlock()
+	return err
+}
+
+func (e *metricsEndpoint) SetHandler(h Handler) {
+	if h == nil {
+		e.inner.SetHandler(nil)
+		return
+	}
+	e.inner.SetHandler(func(from string, payload any, size int) {
+		start := time.Now()
+		h(from, payload, size)
+		lat := time.Since(start)
+		e.m.mu.Lock()
+		e.m.recv++
+		e.m.recvBytes += uint64(size)
+		e.m.handlerLat += lat
+		e.m.mu.Unlock()
+	})
+}
+
+// --- fault injection ----------------------------------------------------
+
+// Faults injects drops and delays on the send path, for exercising loss
+// recovery and latency tolerance over substrates that are otherwise
+// reliable. Configure with the chainable setters before traffic flows.
+type Faults struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	dropEveryN uint64
+	dropProb   float64
+	delay      time.Duration
+	timer      func(d time.Duration, fn func())
+	n          uint64
+	dropped    uint64
+	delayed    uint64
+}
+
+// NewFaults returns an injector with deterministic randomness from seed and
+// no faults configured. The default delay timer is time.AfterFunc; swap it
+// with SetTimer (e.g. to a netsim Sim.At adapter) when delaying over the
+// simulator, where real-time goroutines would race virtual time.
+func NewFaults(seed int64) *Faults {
+	return &Faults{
+		rng:   rand.New(rand.NewSource(seed)),
+		timer: func(d time.Duration, fn func()) { time.AfterFunc(d, fn) },
+	}
+}
+
+// DropEveryN drops every nth send (deterministic); 0 disables.
+func (f *Faults) DropEveryN(n uint64) *Faults {
+	f.mu.Lock()
+	f.dropEveryN = n
+	f.mu.Unlock()
+	return f
+}
+
+// DropProb drops each send with probability p.
+func (f *Faults) DropProb(p float64) *Faults {
+	f.mu.Lock()
+	f.dropProb = p
+	f.mu.Unlock()
+	return f
+}
+
+// Delay defers each surviving send by d via the configured timer.
+func (f *Faults) Delay(d time.Duration) *Faults {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+	return f
+}
+
+// SetTimer replaces the delay scheduler.
+func (f *Faults) SetTimer(t func(d time.Duration, fn func())) *Faults {
+	f.mu.Lock()
+	f.timer = t
+	f.mu.Unlock()
+	return f
+}
+
+// Injected reports how many sends were dropped and delayed so far.
+func (f *Faults) Injected() (dropped, delayed uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped, f.delayed
+}
+
+// Middleware returns the wrapping middleware.
+func (f *Faults) Middleware() Middleware {
+	return func(inner Endpoint) Endpoint {
+		return &faultEndpoint{inner: inner, f: f}
+	}
+}
+
+type faultEndpoint struct {
+	inner Endpoint
+	f     *Faults
+}
+
+func (e *faultEndpoint) ID() string           { return e.inner.ID() }
+func (e *faultEndpoint) Unwrap() Endpoint     { return e.inner }
+func (e *faultEndpoint) Close() error         { return e.inner.Close() }
+func (e *faultEndpoint) SetHandler(h Handler) { e.inner.SetHandler(h) }
+
+func (e *faultEndpoint) Send(to string, payload any, size int) error {
+	f := e.f
+	f.mu.Lock()
+	f.n++
+	if f.dropEveryN > 0 && f.n%f.dropEveryN == 0 {
+		f.dropped++
+		f.mu.Unlock()
+		return nil // lost on the wire: not an error the sender sees
+	}
+	if f.dropProb > 0 && f.rng.Float64() < f.dropProb {
+		f.dropped++
+		f.mu.Unlock()
+		return nil
+	}
+	if f.delay > 0 {
+		f.delayed++
+		timer := f.timer
+		d := f.delay
+		f.mu.Unlock()
+		timer(d, func() { _ = e.inner.Send(to, payload, size) })
+		return nil
+	}
+	f.mu.Unlock()
+	return e.inner.Send(to, payload, size)
+}
+
+// --- tracing ------------------------------------------------------------
+
+// Tap interposes observation hooks on both directions without altering
+// traffic. onSend fires before the inner Send, onRecv before the inner
+// handler; either may be nil.
+func Tap(onSend, onRecv func(peer string, payload any, size int)) Middleware {
+	return func(inner Endpoint) Endpoint {
+		return &tapEndpoint{inner: inner, onSend: onSend, onRecv: onRecv}
+	}
+}
+
+// Logging is a Tap that formats every message through logf, e.g.
+// Logging(log.Printf) or a test logger.
+func Logging(logf func(format string, args ...any)) Middleware {
+	return Tap(
+		func(peer string, payload any, size int) {
+			logf("fabric: send to=%s size=%d payload=%T", peer, size, payload)
+		},
+		func(peer string, payload any, size int) {
+			logf("fabric: recv from=%s size=%d payload=%T", peer, size, payload)
+		},
+	)
+}
+
+type tapEndpoint struct {
+	inner          Endpoint
+	onSend, onRecv func(peer string, payload any, size int)
+}
+
+func (e *tapEndpoint) ID() string       { return e.inner.ID() }
+func (e *tapEndpoint) Unwrap() Endpoint { return e.inner }
+func (e *tapEndpoint) Close() error     { return e.inner.Close() }
+
+func (e *tapEndpoint) Send(to string, payload any, size int) error {
+	if e.onSend != nil {
+		e.onSend(to, payload, size)
+	}
+	return e.inner.Send(to, payload, size)
+}
+
+func (e *tapEndpoint) SetHandler(h Handler) {
+	if h == nil {
+		e.inner.SetHandler(nil)
+		return
+	}
+	e.inner.SetHandler(func(from string, payload any, size int) {
+		if e.onRecv != nil {
+			e.onRecv(from, payload, size)
+		}
+		h(from, payload, size)
+	})
+}

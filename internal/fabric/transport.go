@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"repro/internal/transport"
+)
+
+// TransportEndpoint adapts a byte-oriented transport endpoint (in-memory
+// hub or TCP) to the fabric Endpoint interface, using a Codec to envelope
+// typed payloads onto the wire and back.
+type TransportEndpoint struct {
+	ep    transport.Endpoint
+	codec *Codec
+	in    inbox
+}
+
+// FromTransport wraps a transport endpoint with the given codec. The raw
+// byte handler is claimed immediately: frames arriving before SetHandler
+// are decoded and buffered rather than dropped by the transport's drain
+// loop. Frames that fail to decode, or whose tag is not registered with the
+// codec, are counted as dropped.
+func FromTransport(ep transport.Endpoint, codec *Codec) *TransportEndpoint {
+	t := &TransportEndpoint{ep: ep, codec: codec}
+	ep.SetHandler(func(from string, data []byte) {
+		payload, err := codec.Decode(data)
+		if err != nil || payload == nil {
+			t.in.countDrop()
+			return
+		}
+		t.in.deliver(from, payload, len(data))
+	})
+	return t
+}
+
+// ID returns the underlying transport endpoint id.
+func (t *TransportEndpoint) ID() string { return t.ep.ID() }
+
+// Send envelopes payload via the codec and transmits it. The declared size
+// is advisory on byte transports — the encoded frame length is what travels.
+func (t *TransportEndpoint) Send(to string, payload any, size int) error {
+	data, err := t.codec.Encode(payload)
+	if err != nil {
+		return err
+	}
+	return t.ep.Send(to, data)
+}
+
+// SetHandler installs the delivery callback, flushing buffered deliveries.
+func (t *TransportEndpoint) SetHandler(h Handler) { t.in.set(h) }
+
+// Close closes the underlying transport endpoint.
+func (t *TransportEndpoint) Close() error {
+	err := t.ep.Close()
+	t.in.set(nil)
+	return err
+}
+
+// Dropped counts frames lost to inbox overflow, decode failures, and
+// unregistered tags.
+func (t *TransportEndpoint) Dropped() uint64 { return t.in.droppedCount() }

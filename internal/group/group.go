@@ -4,9 +4,10 @@
 // terminology, §4.2.2.iv).
 //
 // The implementation is handler-driven and transport-agnostic: a Member
-// sends through a Conduit and receives via Member.Receive, so the same
-// protocol code runs over the deterministic netsim virtual network (for
-// experiments) and over real transports (for live sessions).
+// sends and receives through a fabric.Endpoint, so the same protocol code
+// runs over the deterministic netsim virtual network (for experiments) and
+// over real byte transports (for live sessions); RegisterWire adds the
+// group packet to a fabric codec for the latter.
 //
 // Total order is provided by two interchangeable protocols — a fixed
 // sequencer and a circulating token — which experiment E7 ablates against
@@ -66,12 +67,6 @@ var (
 	ErrNoSuchCall   = errors.New("group: unknown rpc call")
 	ErrViewConflict = errors.New("group: conflicting view proposal in flight")
 )
-
-// Conduit is the outbound half of a transport. *netsim.Node satisfies it.
-type Conduit interface {
-	ID() string
-	Send(to string, payload any, size int) error
-}
 
 // Timer schedules a callback after a delay. Over netsim this is Sim.At; in
 // real time it can be wrapped around time.AfterFunc.
@@ -148,8 +143,9 @@ const (
 	kSync
 )
 
-// packet is the wire unit exchanged between members. Payloads travel as
-// in-memory values; transports that need bytes can wrap the conduit.
+// packet is the wire unit exchanged between members. Over netsim it
+// travels as an in-memory value; over byte transports RegisterWire gives it
+// an envelope tag so the fabric codec can carry it.
 type packet struct {
 	Kind   kind
 	From   string

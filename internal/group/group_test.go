@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 )
 
@@ -29,7 +30,7 @@ func newRig(t testing.TB, n int, ord Ordering, link netsim.Link) *rig {
 		r.ids = append(r.ids, id)
 		node := r.sim.MustAddNode(id)
 		m, err := NewMember(Config{
-			Conduit:  node,
+			Endpoint: fabric.FromSim(node),
 			Timer:    TimerFunc(func(d time.Duration, fn func()) { r.sim.At(d, fn) }),
 			Ordering: ord,
 			Deliver:  func(d Delivery) { r.deliv[id] = append(r.deliv[id], d) },
@@ -37,7 +38,6 @@ func newRig(t testing.TB, n int, ord Ordering, link netsim.Link) *rig {
 		if err != nil {
 			t.Fatal(err)
 		}
-		node.SetHandler(func(msg netsim.Msg) { m.Receive(msg.From, msg.Payload) })
 		r.members[id] = m
 	}
 	v := NewView(1, r.ids)
@@ -68,7 +68,7 @@ func TestViewBasics(t *testing.T) {
 func TestMulticastNotMember(t *testing.T) {
 	r := newRig(t, 2, FIFO, netsim.LANLink)
 	outsiderNode := r.sim.MustAddNode("outsider")
-	m, err := NewMember(Config{Conduit: outsiderNode, Deliver: func(Delivery) {}})
+	m, err := NewMember(Config{Endpoint: fabric.FromSim(outsiderNode), Deliver: func(Delivery) {}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestCausalDelivery(t *testing.T) {
 		r.ids = append(r.ids, id)
 		node := sim.MustAddNode(id)
 		m, _ := NewMember(Config{
-			Conduit:  node,
+			Endpoint: fabric.FromSim(node),
 			Ordering: Causal,
 			Deliver: func(d Delivery) {
 				r.deliv[id] = append(r.deliv[id], d)
@@ -151,7 +151,6 @@ func TestCausalDelivery(t *testing.T) {
 				}
 			},
 		})
-		node.SetHandler(func(msg netsim.Msg) { m.Receive(msg.From, msg.Payload) })
 		r.members[id] = m
 	}
 	v := NewView(1, r.ids)

@@ -3,26 +3,37 @@ package group
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/vclock"
 )
 
-// Member is one group endpoint. It is not safe for concurrent use by
-// multiple goroutines; over netsim all calls happen on the simulator
-// goroutine, and over real transports the caller must serialize access (the
-// session layer does).
+// Member is one group endpoint. All state is guarded by an internal mutex,
+// so a member is safe to drive from the simulator goroutine and from real
+// transport delivery goroutines alike. Application callbacks (Deliver,
+// OnView, RPC handlers and completions) run outside the lock, so they may
+// freely call back into the member (e.g. Multicast from inside Deliver).
 //
 // View installation assumes quiescence (no multicasts in flight), as in
 // primary-component virtual synchrony after flush; the experiment harnesses
 // install views between traffic phases.
 type Member struct {
 	id       string
-	conduit  Conduit
+	ep       fabric.Endpoint
 	timer    Timer
 	ordering Ordering
 	deliver  DeliverFunc
 	onView   ViewFunc
+
+	// mu guards everything below. cbs collects application callbacks
+	// queued while holding mu; runCallbacks flushes them with mu
+	// released (flushing marks a flush in progress so nested entries
+	// leave the queue for the outer loop).
+	mu       sync.Mutex
+	cbs      []func()
+	flushing bool
 
 	view View
 
@@ -97,18 +108,19 @@ type pendingCall struct {
 
 // Config configures a new member.
 type Config struct {
-	Conduit  Conduit
+	Endpoint fabric.Endpoint
 	Timer    Timer
 	Ordering Ordering
 	Deliver  DeliverFunc
 	OnView   ViewFunc
 }
 
-// NewMember creates a group member. The member is inert until a view
-// containing it is installed.
+// NewMember creates a group member on the given fabric endpoint and claims
+// the endpoint's handler. The member is inert until a view containing it is
+// installed.
 func NewMember(cfg Config) (*Member, error) {
-	if cfg.Conduit == nil {
-		return nil, fmt.Errorf("group: config needs a conduit")
+	if cfg.Endpoint == nil {
+		return nil, fmt.Errorf("group: config needs an endpoint")
 	}
 	if cfg.Deliver == nil {
 		return nil, fmt.Errorf("group: config needs a deliver callback")
@@ -117,8 +129,8 @@ func NewMember(cfg Config) (*Member, error) {
 		cfg.Ordering = FIFO
 	}
 	m := &Member{
-		id:         cfg.Conduit.ID(),
-		conduit:    cfg.Conduit,
+		id:         cfg.Endpoint.ID(),
+		ep:         cfg.Endpoint,
 		timer:      cfg.Timer,
 		ordering:   cfg.Ordering,
 		deliver:    cfg.Deliver,
@@ -136,23 +148,63 @@ func NewMember(cfg Config) (*Member, error) {
 		handlers:   make(map[string]HandlerFunc),
 		calls:      make(map[uint64]*pendingCall),
 	}
+	cfg.Endpoint.SetHandler(func(from string, payload any, size int) {
+		m.Receive(from, payload)
+	})
 	return m, nil
+}
+
+// runCallbacks is called with m.mu held and returns with it released,
+// having run every queued application callback outside the lock. A nested
+// entry (a callback calling back into the member) leaves its additions for
+// the outer flush loop.
+func (m *Member) runCallbacks() {
+	if m.flushing {
+		m.mu.Unlock()
+		return
+	}
+	m.flushing = true
+	for len(m.cbs) > 0 {
+		batch := m.cbs
+		m.cbs = nil
+		m.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+		m.mu.Lock()
+	}
+	m.flushing = false
+	m.mu.Unlock()
 }
 
 // ID returns the member identifier.
 func (m *Member) ID() string { return m.id }
 
 // View returns the currently installed view.
-func (m *Member) View() View { return m.view }
+func (m *Member) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view
+}
 
 // Delivered returns the count of messages delivered to the application.
-func (m *Member) Delivered() uint64 { return m.delivered }
+func (m *Member) Delivered() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivered
+}
 
 // Ordering returns the configured delivery ordering.
 func (m *Member) Ordering() Ordering { return m.ordering }
 
 // InstallView installs a membership view locally, resetting ordering state.
 func (m *Member) InstallView(v View) {
+	m.mu.Lock()
+	m.installView(v)
+	m.runCallbacks()
+}
+
+func (m *Member) installView(v View) {
 	m.view = v
 	m.fifoSent = 0
 	m.fifoNext = make(map[string]uint64)
@@ -173,13 +225,16 @@ func (m *Member) InstallView(v View) {
 	m.waitKnown = make(map[string]bool)
 	m.hasToken = m.ordering == TotalToken && v.Sequencer() == m.id
 	if m.onView != nil {
-		m.onView(v)
+		onView := m.onView
+		m.cbs = append(m.cbs, func() { onView(v) })
 	}
 }
 
 // ProposeView multicasts a view to the union of old and new membership;
 // every receiver (including the proposer) installs it.
 func (m *Member) ProposeView(v View) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	targets := map[string]bool{m.id: true}
 	for _, id := range m.view.Members {
 		targets[id] = true
@@ -189,7 +244,7 @@ func (m *Member) ProposeView(v View) error {
 	}
 	pkt := &packet{Kind: kView, From: m.id, NewView: &v}
 	for id := range targets {
-		if err := m.conduit.Send(id, pkt, 64); err != nil {
+		if err := m.ep.Send(id, pkt, 64); err != nil {
 			return fmt.Errorf("propose view to %s: %w", id, err)
 		}
 	}
@@ -200,6 +255,13 @@ func (m *Member) ProposeView(v View) error {
 // caller) with the configured ordering guarantee. size is the payload size
 // hint for bandwidth accounting.
 func (m *Member) Multicast(body any, size int) error {
+	m.mu.Lock()
+	err := m.multicast(body, size)
+	m.runCallbacks()
+	return err
+}
+
+func (m *Member) multicast(body any, size int) error {
 	if !m.view.Contains(m.id) {
 		return ErrNotMember
 	}
@@ -236,7 +298,7 @@ func (m *Member) Multicast(body any, size int) error {
 
 func (m *Member) sendToView(pkt *packet) error {
 	for _, id := range m.view.Members {
-		if err := m.conduit.Send(id, pkt, pkt.Size+64); err != nil {
+		if err := m.ep.Send(id, pkt, pkt.Size+64); err != nil {
 			return fmt.Errorf("multicast to %s: %w", id, err)
 		}
 	}
@@ -248,16 +310,18 @@ func (m *Member) requestToken() error {
 	return m.sendToView(req)
 }
 
-// Receive ingests a packet from the transport. The transport owner wires
-// its handler to call this with the decoded payload.
+// Receive ingests a packet from the endpoint. NewMember wires the
+// endpoint's handler to call this with the delivered payload; tests may
+// also call it directly to hand-craft traffic.
 func (m *Member) Receive(from string, payload any) {
 	pkt, ok := payload.(*packet)
 	if !ok {
-		return // foreign traffic on a shared conduit; not ours
+		return // foreign traffic on a shared endpoint; not ours
 	}
+	m.mu.Lock()
 	switch pkt.Kind {
 	case kView:
-		m.InstallView(*pkt.NewView)
+		m.installView(*pkt.NewView)
 	case kData:
 		m.receiveData(pkt)
 	case kOrder:
@@ -275,11 +339,14 @@ func (m *Member) Receive(from string, payload any) {
 	case kRPCRep:
 		m.receiveRPCReply(pkt)
 	}
+	m.runCallbacks()
 }
 
 func (m *Member) emit(pkt *packet, seq uint64) {
 	m.delivered++
-	m.deliver(Delivery{From: pkt.From, Body: pkt.Body, Seq: seq, VC: pkt.VC, ViewID: pkt.ViewID})
+	deliver := m.deliver
+	del := Delivery{From: pkt.From, Body: pkt.Body, Seq: seq, VC: pkt.VC, ViewID: pkt.ViewID}
+	m.cbs = append(m.cbs, func() { deliver(del) })
 }
 
 func (m *Member) receiveData(pkt *packet) {
@@ -382,7 +449,7 @@ func (m *Member) maybeNack(sender string) {
 	}
 	m.nacked[sender] = target
 	nack := &packet{Kind: kNack, From: m.id, ViewID: m.view.ID, NackFrom: next, NackTo: target}
-	if err := m.conduit.Send(sender, nack, 64); err != nil {
+	if err := m.ep.Send(sender, nack, 64); err != nil {
 		_ = err // a lost NACK is re-armed by the next out-of-order arrival
 	}
 }
@@ -392,6 +459,8 @@ func (m *Member) maybeNack(sender string) {
 // reveals no gap by itself). Schedule it periodically over lossy links —
 // the failure detector's heartbeat interval is a natural carrier.
 func (m *Member) SyncPoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.ordering != FIFO || !m.view.Contains(m.id) {
 		return nil
 	}
@@ -414,6 +483,8 @@ func (m *Member) receiveSync(pkt *packet) {
 // timer for sessions over lossy links (a lost NACK or a lost repair
 // otherwise only recovers when more traffic arrives).
 func (m *Member) RequestRepair() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	senders := make(map[string]bool, len(m.fifoHold)+len(m.knownHi))
 	for s := range m.fifoHold {
 		senders[s] = true
@@ -437,7 +508,7 @@ func (m *Member) receiveNack(pkt *packet) {
 			continue // aged out of the retention window
 		}
 		m.Retransmissions++
-		if err := m.conduit.Send(pkt.From, p, p.Size+64); err != nil {
+		if err := m.ep.Send(pkt.From, p, p.Size+64); err != nil {
 			_ = err
 		}
 	}
@@ -502,7 +573,7 @@ func (m *Member) drainTotal() {
 func (m *Member) receiveToken(pkt *packet) {
 	// Everyone tracks token movement so requester bookkeeping stays
 	// consistent; only the target becomes the holder.
-	target := pkt.Body.(string)
+	target, _ := pkt.Body.(string)
 	delete(m.waitKnown, target)
 	live := m.tokenWait[:0]
 	for _, w := range m.tokenWait {
@@ -559,6 +630,8 @@ func (m *Member) maybePassToken() {
 
 // Handle registers an RPC handler for op.
 func (m *Member) Handle(op string, h HandlerFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.handlers[op] = h
 }
 
@@ -574,10 +647,13 @@ type CallOpts struct {
 // quota is met, or with the partial replies and ErrRPCDeadline if the
 // deadline passes first.
 func (m *Member) Call(op string, body any, opts CallOpts, done func([]Reply, error)) error {
+	m.mu.Lock()
 	if !m.view.Contains(m.id) {
+		m.mu.Unlock()
 		return ErrNotMember
 	}
 	if len(m.view.Members) == 0 {
+		m.mu.Unlock()
 		return ErrEmptyView
 	}
 	if opts.Mode == 0 {
@@ -596,40 +672,51 @@ func (m *Member) Call(op string, body any, opts CallOpts, done func([]Reply, err
 	m.calls[id] = pc
 	if opts.Deadline > 0 {
 		if m.timer == nil {
+			delete(m.calls, id)
+			m.mu.Unlock()
 			return fmt.Errorf("group: deadline requires a timer")
 		}
 		m.timer.After(opts.Deadline, func() {
+			m.mu.Lock()
 			c, ok := m.calls[id]
 			if !ok || c.done {
+				m.runCallbacks()
 				return
 			}
 			c.done = true
 			delete(m.calls, id)
-			c.callback(c.replies, ErrRPCDeadline)
+			m.cbs = append(m.cbs, func() { c.callback(c.replies, ErrRPCDeadline) })
+			m.runCallbacks()
 		})
 	}
 	req := &packet{Kind: kRPCReq, From: m.id, ViewID: m.view.ID, CallID: id, Op: op, Body: body, Size: opts.Size}
-	return m.sendToView(req)
+	err := m.sendToView(req)
+	m.runCallbacks()
+	return err
 }
 
 func (m *Member) receiveRPCRequest(pkt *packet) {
 	h, ok := m.handlers[pkt.Op]
-	rep := &packet{Kind: kRPCRep, From: m.id, ViewID: pkt.ViewID, CallID: pkt.CallID}
-	if !ok {
-		rep.IsError = true
-		rep.ErrText = ErrNoSuchCall.Error() + ": " + pkt.Op
-	} else {
-		out, err := h(pkt.From, pkt.Body)
-		if err != nil {
+	// Run the handler outside the lock: handlers may multicast or call
+	// back into the member.
+	m.cbs = append(m.cbs, func() {
+		rep := &packet{Kind: kRPCRep, From: m.id, ViewID: pkt.ViewID, CallID: pkt.CallID}
+		if !ok {
 			rep.IsError = true
-			rep.ErrText = err.Error()
+			rep.ErrText = ErrNoSuchCall.Error() + ": " + pkt.Op
 		} else {
-			rep.Body = out
+			out, err := h(pkt.From, pkt.Body)
+			if err != nil {
+				rep.IsError = true
+				rep.ErrText = err.Error()
+			} else {
+				rep.Body = out
+			}
 		}
-	}
-	if err := m.conduit.Send(pkt.From, rep, 64); err != nil {
-		_ = err // caller's deadline covers lost replies
-	}
+		if err := m.ep.Send(pkt.From, rep, 64); err != nil {
+			_ = err // caller's deadline covers lost replies
+		}
+	})
 }
 
 func (m *Member) receiveRPCReply(pkt *packet) {
@@ -647,6 +734,6 @@ func (m *Member) receiveRPCReply(pkt *packet) {
 		delete(m.calls, pkt.CallID)
 		// Deterministic reply order for callers that inspect replies.
 		sort.Slice(pc.replies, func(i, j int) bool { return pc.replies[i].From < pc.replies[j].From })
-		pc.callback(pc.replies, nil)
+		m.cbs = append(m.cbs, func() { pc.callback(pc.replies, nil) })
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 )
 
@@ -23,14 +24,13 @@ func lossyRig(t *testing.T, loss float64, seed int64) *rig {
 		r.ids = append(r.ids, id)
 		node := r.sim.MustAddNode(id)
 		m, err := NewMember(Config{
-			Conduit:  node,
+			Endpoint: fabric.FromSim(node),
 			Ordering: FIFO,
 			Deliver:  func(d Delivery) { r.deliv[id] = append(r.deliv[id], d) },
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		node.SetHandler(func(msg netsim.Msg) { m.Receive(msg.From, msg.Payload) })
 		r.members[id] = m
 	}
 	// Self-delivery must be reliable even on a lossy mesh.
@@ -108,15 +108,16 @@ func TestNackDamping(t *testing.T) {
 	nacks := 0
 	sender := sim.MustAddNode("s")
 	recvNode := sim.MustAddNode("r")
-	ms, _ := NewMember(Config{Conduit: sender, Ordering: FIFO, Deliver: func(Delivery) {}})
-	mr, _ := NewMember(Config{Conduit: recvNode, Ordering: FIFO, Deliver: func(Delivery) {}})
-	sender.SetHandler(func(msg netsim.Msg) {
-		if p, ok := msg.Payload.(*packet); ok && p.Kind == kNack {
-			nacks++
-		}
-		ms.Receive(msg.From, msg.Payload)
-	})
-	recvNode.SetHandler(func(msg netsim.Msg) { mr.Receive(msg.From, msg.Payload) })
+	// Count kNack packets arriving at the sender via a Tap middleware on
+	// its endpoint.
+	senderEP := fabric.Wrap(fabric.FromSim(sender), fabric.Tap(nil,
+		func(peer string, payload any, size int) {
+			if p, ok := payload.(*packet); ok && p.Kind == kNack {
+				nacks++
+			}
+		}))
+	ms, _ := NewMember(Config{Endpoint: senderEP, Ordering: FIFO, Deliver: func(Delivery) {}})
+	mr, _ := NewMember(Config{Endpoint: fabric.FromSim(recvNode), Ordering: FIFO, Deliver: func(Delivery) {}})
 	v := NewView(1, []string{"r", "s"})
 	ms.InstallView(v)
 	mr.InstallView(v)

@@ -1,0 +1,10 @@
+package group
+
+import "repro/internal/fabric"
+
+// RegisterWire registers the group wire packet with a fabric codec so
+// members can run over byte-oriented substrates (in-memory hub, TCP) as
+// well as netsim.
+func RegisterWire(c *fabric.Codec) {
+	c.Register("group/packet", packet{})
+}

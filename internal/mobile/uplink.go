@@ -1,0 +1,39 @@
+package mobile
+
+import "repro/internal/fabric"
+
+// Traffic is the cost record a mobile client emits for each remote
+// interaction once an uplink is attached. It makes the package's cost
+// transparency observable on the wire: experiment E9 prices interactions
+// from the client's counters, while a server (or a metrics middleware on
+// the uplink) can account for them remotely.
+type Traffic struct {
+	Op    string `json:"op"` // fetch | read | write | replay | bulk
+	Key   string `json:"key"`
+	Bytes int    `json:"bytes"`
+}
+
+// RegisterWire registers the mobile wire records with a fabric codec, so
+// Traffic can cross byte-oriented transports as well as netsim.
+func RegisterWire(c *fabric.Codec) {
+	c.Register("mobile/traffic", Traffic{})
+}
+
+// AttachUplink makes the client report every remote interaction as a
+// Traffic record sent to server over ep. The uplink is observational: cache
+// reads and writes still go through the shared store, and losing the uplink
+// loses only accounting, never data. Pass nil to detach.
+func (c *Client) AttachUplink(ep fabric.Endpoint, server string) {
+	c.up = ep
+	c.upServer = server
+}
+
+// report emits one Traffic record if an uplink is attached. Send errors are
+// dropped: accounting must never fail an operation that already succeeded
+// against the store.
+func (c *Client) report(op, key string, bytes int) {
+	if c.up == nil {
+		return
+	}
+	_ = c.up.Send(c.upServer, &Traffic{Op: op, Key: key, Bytes: bytes}, bytes+32)
+}

@@ -123,6 +123,10 @@ type Sim struct {
 	deflt   Link
 	dropped int
 	sent    int
+	// noHandler counts deliveries that arrived at a node with no handler
+	// installed — silent loss unless the node is wrapped by a fabric
+	// adapter, which claims the handler at construction.
+	noHandler int
 }
 
 // New creates a simulator with the given RNG seed and default link used for
@@ -144,6 +148,10 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Stats reports messages sent and dropped so far.
 func (s *Sim) Stats() (sent, dropped int) { return s.sent, s.dropped }
+
+// DroppedNoHandler reports deliveries lost because the destination node had
+// no handler installed at delivery time.
+func (s *Sim) DroppedNoHandler() int { return s.noHandler }
 
 // AddNode registers a new node. Adding a duplicate ID replaces the previous
 // node's identity but is almost certainly a bug; it returns an error.
@@ -288,6 +296,8 @@ func (s *Sim) Send(from, to string, payload any, size int) error {
 	s.At(delay, func() {
 		if dst.handler != nil {
 			dst.handler(msg)
+		} else {
+			s.noHandler++
 		}
 	})
 	return nil

@@ -2,14 +2,23 @@ package session
 
 import (
 	"fmt"
+	"sync"
 	"time"
+
+	"repro/internal/fabric"
 )
 
-// Client is a session participant endpoint. Wire its transport handler to
-// Receive.
+// Client is a session participant endpoint. It claims its endpoint's
+// handler at construction; the On* callbacks run outside the internal lock
+// and may call back into the client.
 type Client struct {
-	conduit Conduit
-	host    string
+	ep   fabric.Endpoint
+	host string
+
+	mu       sync.Mutex
+	cbs      []func()
+	flushing bool
+
 	joined  bool
 	mode    Mode
 	lastSeq uint64
@@ -24,22 +33,60 @@ type Client struct {
 	OnJoined func(mode Mode, members []string)
 }
 
-// NewClient creates a client that will talk to the named host.
-func NewClient(conduit Conduit, host string) *Client {
-	return &Client{conduit: conduit, host: host, mode: Synchronous}
+// NewClient creates a client on the given endpoint that will talk to the
+// named host, claiming the endpoint's handler.
+func NewClient(ep fabric.Endpoint, host string) *Client {
+	c := &Client{ep: ep, host: host, mode: Synchronous}
+	ep.SetHandler(func(from string, payload any, size int) {
+		c.Receive(from, payload)
+	})
+	return c
+}
+
+// runCallbacks is called with c.mu held and returns with it released; see
+// group.Member.runCallbacks for the pattern.
+func (c *Client) runCallbacks() {
+	if c.flushing {
+		c.mu.Unlock()
+		return
+	}
+	c.flushing = true
+	for len(c.cbs) > 0 {
+		batch := c.cbs
+		c.cbs = nil
+		c.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+		c.mu.Lock()
+	}
+	c.flushing = false
+	c.mu.Unlock()
 }
 
 // ID returns the client's identifier.
-func (c *Client) ID() string { return c.conduit.ID() }
+func (c *Client) ID() string { return c.ep.ID() }
 
 // Joined reports whether the join handshake completed.
-func (c *Client) Joined() bool { return c.joined }
+func (c *Client) Joined() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.joined
+}
 
 // Mode returns the last known session mode.
-func (c *Client) Mode() Mode { return c.mode }
+func (c *Client) Mode() Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
 
 // LastSeq returns the highest item sequence number seen.
-func (c *Client) LastSeq() uint64 { return c.lastSeq }
+func (c *Client) LastSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq
+}
 
 // Join requests (re)admission, asking for replay of anything after the last
 // item this client saw.
@@ -47,46 +94,57 @@ func (c *Client) Join(now time.Duration) error {
 	if c.host == "" {
 		return ErrNoHost
 	}
-	return c.conduit.Send(c.host, &MsgJoin{From: c.ID(), Since: c.lastSeq, State: Active}, 64)
+	c.mu.Lock()
+	since := c.lastSeq
+	c.mu.Unlock()
+	return c.ep.Send(c.host, &MsgJoin{From: c.ID(), Since: since, State: Active}, 64)
 }
 
 // Post submits an item to the session.
 func (c *Client) Post(kind, body string, now time.Duration) error {
-	if !c.joined {
+	if !c.Joined() {
 		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
 	}
-	return c.conduit.Send(c.host, &MsgPost{From: c.ID(), Kind: kind, Body: body}, len(body)+64)
+	return c.ep.Send(c.host, &MsgPost{From: c.ID(), Kind: kind, Body: body}, len(body)+64)
 }
 
 // Poll fetches items posted since the client last saw one (the
 // asynchronous-mode pull path).
 func (c *Client) Poll(now time.Duration) error {
-	if !c.joined {
+	c.mu.Lock()
+	joined, since := c.joined, c.lastSeq
+	c.mu.Unlock()
+	if !joined {
 		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
 	}
-	return c.conduit.Send(c.host, &MsgPoll{From: c.ID(), Since: c.lastSeq}, 64)
+	return c.ep.Send(c.host, &MsgPoll{From: c.ID(), Since: since}, 64)
 }
 
 // SetPresence announces a presence change.
 func (c *Client) SetPresence(p Presence, now time.Duration) error {
-	if !c.joined {
+	if !c.Joined() {
 		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
 	}
-	return c.conduit.Send(c.host, &MsgPresence{From: c.ID(), State: p}, 64)
+	return c.ep.Send(c.host, &MsgPresence{From: c.ID(), State: p}, 64)
 }
 
 // Leave departs the session (items continue to queue server-side and replay
 // on rejoin).
 func (c *Client) Leave(now time.Duration) error {
+	c.mu.Lock()
 	if !c.joined {
+		c.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
 	}
 	c.joined = false
-	return c.conduit.Send(c.host, &MsgLeave{From: c.ID()}, 64)
+	c.mu.Unlock()
+	return c.ep.Send(c.host, &MsgLeave{From: c.ID()}, 64)
 }
 
-// Receive ingests a wire message from the transport.
+// Receive ingests a wire message. NewClient wires the endpoint's handler
+// here; tests may call it directly.
 func (c *Client) Receive(from string, payload any) {
+	c.mu.Lock()
 	switch m := payload.(type) {
 	case *MsgJoinAck:
 		c.onJoinAck(*m)
@@ -97,23 +155,29 @@ func (c *Client) Receive(from string, payload any) {
 	case MsgItems:
 		c.onItems(m)
 	case *MsgMode:
-		c.mode = m.Mode
-		if c.OnMode != nil {
-			c.OnMode(m.Mode)
-		}
+		c.onMode(*m)
 	case MsgMode:
-		c.mode = m.Mode
-		if c.OnMode != nil {
-			c.OnMode(m.Mode)
-		}
+		c.onMode(m)
 	case *MsgPresence:
-		if c.OnPresence != nil {
-			c.OnPresence(m.From, m.State)
-		}
+		c.onPresenceMsg(*m)
 	case MsgPresence:
-		if c.OnPresence != nil {
-			c.OnPresence(m.From, m.State)
-		}
+		c.onPresenceMsg(m)
+	}
+	c.runCallbacks()
+}
+
+func (c *Client) onMode(m MsgMode) {
+	c.mode = m.Mode
+	if c.OnMode != nil {
+		onMode := c.OnMode
+		c.cbs = append(c.cbs, func() { onMode(m.Mode) })
+	}
+}
+
+func (c *Client) onPresenceMsg(m MsgPresence) {
+	if c.OnPresence != nil {
+		onPresence := c.OnPresence
+		c.cbs = append(c.cbs, func() { onPresence(m.From, m.State) })
 	}
 }
 
@@ -121,7 +185,8 @@ func (c *Client) onJoinAck(m MsgJoinAck) {
 	c.joined = true
 	c.mode = m.Mode
 	if c.OnJoined != nil {
-		c.OnJoined(m.Mode, m.Members)
+		onJoined := c.OnJoined
+		c.cbs = append(c.cbs, func() { onJoined(m.Mode, m.Members) })
 	}
 	c.deliver(m.Backlog)
 }
@@ -137,7 +202,9 @@ func (c *Client) deliver(items []Item) {
 		}
 		c.lastSeq = it.Seq
 		if c.OnItem != nil {
-			c.OnItem(it)
+			onItem := c.OnItem
+			item := it
+			c.cbs = append(c.cbs, func() { onItem(item) })
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 )
 
@@ -41,7 +42,7 @@ func TestAccessors(t *testing.T) {
 func TestJoinWithoutHost(t *testing.T) {
 	hub := netsim.New(1, netsim.LANLink)
 	node := hub.MustAddNode("x")
-	c := NewClient(node, "")
+	c := NewClient(fabric.FromSim(node), "")
 	if err := c.Join(0); !errors.Is(err, ErrNoHost) {
 		t.Errorf("Join = %v", err)
 	}
@@ -53,8 +54,7 @@ func TestReceiveValueVariants(t *testing.T) {
 	// forms are part of the contract).
 	sim := netsim.New(1, netsim.LANLink)
 	hostNode := sim.MustAddNode("host")
-	h := NewHost(hostNode, Synchronous, sim.Now)
-	hostNode.SetHandler(func(m netsim.Msg) { h.Receive(m.From, m.Payload) })
+	h := NewHost(fabric.FromSim(hostNode), Synchronous, sim.Now)
 
 	h.Receive("u1", MsgJoin{From: "u1", State: Active})
 	sim.Run()
@@ -79,7 +79,7 @@ func TestReceiveValueVariants(t *testing.T) {
 	}
 
 	cNode := sim.MustAddNode("c")
-	c := NewClient(cNode, "host")
+	c := NewClient(fabric.FromSim(cNode), "host")
 	var modes []Mode
 	var presences []string
 	c.OnMode = func(m Mode) { modes = append(modes, m) }
@@ -105,7 +105,7 @@ func TestReceiveValueVariants(t *testing.T) {
 func TestSetPresenceBeforeJoin(t *testing.T) {
 	sim := netsim.New(1, netsim.LANLink)
 	node := sim.MustAddNode("x")
-	c := NewClient(node, "host")
+	c := NewClient(fabric.FromSim(node), "host")
 	if err := c.SetPresence(Away, 0); !errors.Is(err, ErrNotJoined) {
 		t.Errorf("SetPresence = %v", err)
 	}

@@ -2,7 +2,10 @@ package session
 
 import (
 	"sort"
+	"sync"
 	"time"
+
+	"repro/internal/fabric"
 )
 
 // HostStats aggregates host activity.
@@ -20,44 +23,94 @@ type partState struct {
 	acked    uint64 // highest sequence number delivered (push or poll)
 }
 
-// Host is the session coordinator. Wire its transport handler to Receive.
-// Single-threaded, like the other simulation-facing layers; the TCP daemon
-// serializes calls.
+// Host is the session coordinator. It claims its endpoint's handler at
+// construction and guards all state with an internal mutex, so it is safe
+// over netsim and over concurrent real transports alike; the OnItem
+// callback runs outside the lock.
 type Host struct {
-	conduit Conduit
-	mode    Mode
-	log     []Item
-	seq     uint64
-	parts   map[string]*partState
-	clock   func() time.Duration
-	stats   HostStats
+	ep fabric.Endpoint
+
+	mu       sync.Mutex
+	cbs      []func()
+	flushing bool
+
+	mode  Mode
+	log   []Item
+	seq   uint64
+	parts map[string]*partState
+	clock func() time.Duration
+	stats HostStats
 	// OnItem observes every accepted post (the hyperdoc and experiment
 	// layers tap this).
 	OnItem func(Item)
 }
 
-// NewHost creates a session host. clock supplies the current (virtual or
-// real) time for item stamping.
-func NewHost(conduit Conduit, mode Mode, clock func() time.Duration) *Host {
-	return &Host{
-		conduit: conduit,
-		mode:    mode,
-		parts:   make(map[string]*partState),
-		clock:   clock,
+// NewHost creates a session host on the given endpoint and claims its
+// handler. clock supplies the current (virtual or real) time for item
+// stamping.
+func NewHost(ep fabric.Endpoint, mode Mode, clock func() time.Duration) *Host {
+	h := &Host{
+		ep:    ep,
+		mode:  mode,
+		parts: make(map[string]*partState),
+		clock: clock,
 	}
+	ep.SetHandler(func(from string, payload any, size int) {
+		h.Receive(from, payload)
+	})
+	return h
+}
+
+// runCallbacks is called with h.mu held and returns with it released; see
+// group.Member.runCallbacks for the pattern.
+func (h *Host) runCallbacks() {
+	if h.flushing {
+		h.mu.Unlock()
+		return
+	}
+	h.flushing = true
+	for len(h.cbs) > 0 {
+		batch := h.cbs
+		h.cbs = nil
+		h.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+		h.mu.Lock()
+	}
+	h.flushing = false
+	h.mu.Unlock()
 }
 
 // Mode returns the session's current mode.
-func (h *Host) Mode() Mode { return h.mode }
+func (h *Host) Mode() Mode {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mode
+}
 
 // Stats returns accumulated statistics.
-func (h *Host) Stats() HostStats { return h.stats }
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
 
 // LogLen returns the number of items in the session log.
-func (h *Host) LogLen() int { return len(h.log) }
+func (h *Host) LogLen() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.log)
+}
 
 // Members returns joined participants (any presence), sorted.
 func (h *Host) Members() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.members()
+}
+
+func (h *Host) members() []string {
 	out := make([]string, 0, len(h.parts))
 	for id := range h.parts {
 		out = append(out, id)
@@ -68,14 +121,18 @@ func (h *Host) Members() []string {
 
 // PresenceOf returns a participant's presence (Offline if never joined).
 func (h *Host) PresenceOf(id string) Presence {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if p, ok := h.parts[id]; ok {
 		return p.presence
 	}
 	return Offline
 }
 
-// Receive ingests a wire message from the transport.
+// Receive ingests a wire message. NewHost wires the endpoint's handler
+// here; tests may call it directly.
 func (h *Host) Receive(from string, payload any) {
+	h.mu.Lock()
 	switch m := payload.(type) {
 	case *MsgJoin:
 		h.onJoin(*m)
@@ -98,6 +155,7 @@ func (h *Host) Receive(from string, payload any) {
 	case MsgLeave:
 		h.onLeave(m)
 	}
+	h.runCallbacks()
 }
 
 func (h *Host) onJoin(m MsgJoin) {
@@ -112,7 +170,7 @@ func (h *Host) onJoin(m MsgJoin) {
 	}
 	backlog := withoutFrom(h.itemsAfter(m.Since), m.From)
 	p.acked = h.seq
-	ack := &MsgJoinAck{Mode: h.mode, Backlog: backlog, Members: h.Members()}
+	ack := &MsgJoinAck{Mode: h.mode, Backlog: backlog, Members: h.members()}
 	h.send(m.From, ack, len(backlog)*32+64)
 	// Tell the others someone arrived (presence awareness).
 	h.fanout(&MsgPresence{From: m.From, State: p.presence}, m.From)
@@ -143,12 +201,13 @@ func (h *Host) onPost(m MsgPost) {
 	h.log = append(h.log, it)
 	h.stats.Posts++
 	if h.OnItem != nil {
-		h.OnItem(it)
+		onItem := h.OnItem
+		h.cbs = append(h.cbs, func() { onItem(it) })
 	}
 	if h.mode != Synchronous {
 		return
 	}
-	for _, id := range h.Members() {
+	for _, id := range h.members() {
 		p := h.parts[id]
 		if p.presence != Active || id == m.From {
 			// The poster's own item counts as delivered to it.
@@ -178,6 +237,8 @@ func (h *Host) onPoll(m MsgPoll) {
 // flushes every present participant's backlog so nobody resumes live work
 // with stale state — the seamless transition.
 func (h *Host) SetMode(mode Mode) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if mode == h.mode {
 		return
 	}
@@ -187,7 +248,7 @@ func (h *Host) SetMode(mode Mode) {
 	if mode != Synchronous {
 		return
 	}
-	for _, id := range h.Members() {
+	for _, id := range h.members() {
 		p := h.parts[id]
 		if p.presence != Active {
 			continue
@@ -230,7 +291,7 @@ func withoutFrom(items []Item, from string) []Item {
 }
 
 func (h *Host) fanout(payload any, except string) {
-	for _, id := range h.Members() {
+	for _, id := range h.members() {
 		p := h.parts[id]
 		if id == except || p.presence == Offline {
 			continue
@@ -242,5 +303,5 @@ func (h *Host) fanout(payload any, except string) {
 func (h *Host) send(to string, payload any, size int) {
 	// Transient send failures (partitions, disconnected mobiles) surface as
 	// missed pushes; the poll path recovers them, so drop silently here.
-	_ = h.conduit.Send(to, payload, size)
+	_ = h.ep.Send(to, payload, size)
 }

@@ -13,9 +13,10 @@
 // flushes each participant's backlog — the measured "transition cost" of
 // experiment F1 — without tearing the session down.
 //
-// The package is transport-agnostic in the same style as package group: a
-// Conduit sends, Receive ingests, so the same code runs over netsim
-// (experiments) and over TCP (cmd/sessiond) via the JSON-tagged wire types.
+// The package is transport-agnostic in the same style as package group:
+// Host and Client speak through a fabric.Endpoint, so the same code runs
+// over netsim (experiments) and over TCP (cmd/sessiond) via the
+// JSON-tagged wire types registered by RegisterWire.
 package session
 
 import (
@@ -66,13 +67,6 @@ func (p Presence) String() string {
 	default:
 		return fmt.Sprintf("Presence(%d)", int(p))
 	}
-}
-
-// Conduit is the outbound transport half (identical to group.Conduit;
-// *netsim.Node satisfies it).
-type Conduit interface {
-	ID() string
-	Send(to string, payload any, size int) error
 }
 
 // Errors returned by the session layer.

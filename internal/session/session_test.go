@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 )
 
@@ -26,15 +27,13 @@ func newRig(t testing.TB, n int, mode Mode, link netsim.Link) *rig {
 		items:   make(map[string][]Item),
 	}
 	hostNode := r.sim.MustAddNode("host")
-	r.host = NewHost(hostNode, mode, r.sim.Now)
-	hostNode.SetHandler(func(m netsim.Msg) { r.host.Receive(m.From, m.Payload) })
+	r.host = NewHost(fabric.FromSim(hostNode), mode, r.sim.Now)
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("u%02d", i)
 		r.ids = append(r.ids, id)
 		node := r.sim.MustAddNode(id)
-		c := NewClient(node, "host")
+		c := NewClient(fabric.FromSim(node), "host")
 		c.OnItem = func(it Item) { r.items[id] = append(r.items[id], it) }
-		node.SetHandler(func(m netsim.Msg) { c.Receive(m.From, m.Payload) })
 		r.clients[id] = c
 	}
 	return r

@@ -1,10 +1,10 @@
 package session
 
 import (
-	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/transport"
 )
 
@@ -13,54 +13,33 @@ import (
 // ways.
 func TestSessionOverRealTCP(t *testing.T) {
 	book := transport.NewAddressBook()
-	hostEP, err := transport.ListenTCP("host", "127.0.0.1:0", book)
+	hostTCP, err := transport.ListenTCP("host", "127.0.0.1:0", book)
 	if err != nil {
 		t.Fatal(err)
 	}
+	hostEP := fabric.FromTransport(hostTCP, NewWireCodec())
 	defer hostEP.Close()
 
-	var mu sync.Mutex
 	start := time.Now()
-	host := NewHost(NewEndpointConduit(hostEP), Synchronous, func() time.Duration { return time.Since(start) })
-	hostEP.SetHandler(func(from string, data []byte) {
-		payload, err := DecodePayload(data)
-		if err != nil || payload == nil {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		host.Receive(from, payload)
-	})
+	NewHost(hostEP, Synchronous, func() time.Duration { return time.Since(start) })
 
 	type clientRig struct {
-		ep    *transport.TCPEndpoint
+		ep    *fabric.TransportEndpoint
 		cli   *Client
 		items chan Item
 	}
 	mkClient := func(name string) *clientRig {
 		t.Helper()
-		ep, err := transport.ListenTCP(name, "127.0.0.1:0", book)
+		tcp, err := transport.ListenTCP(name, "127.0.0.1:0", book)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r := &clientRig{ep: ep, items: make(chan Item, 16)}
-		r.cli = NewClient(NewEndpointConduit(ep), "host")
+		r := &clientRig{ep: fabric.FromTransport(tcp, NewWireCodec()), items: make(chan Item, 16)}
+		r.cli = NewClient(r.ep, "host")
 		joined := make(chan struct{})
 		r.cli.OnJoined = func(Mode, []string) { close(joined) }
 		r.cli.OnItem = func(it Item) { r.items <- it }
-		ep.SetHandler(func(from string, data []byte) {
-			payload, err := DecodePayload(data)
-			if err != nil || payload == nil {
-				return
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			r.cli.Receive(from, payload)
-		})
-		mu.Lock()
-		err = r.cli.Join(0)
-		mu.Unlock()
-		if err != nil {
+		if err := r.cli.Join(0); err != nil {
 			t.Fatal(err)
 		}
 		select {
@@ -76,10 +55,7 @@ func TestSessionOverRealTCP(t *testing.T) {
 	bob := mkClient("bob")
 	defer bob.ep.Close()
 
-	mu.Lock()
-	err = alice.cli.Post("chat", "over real sockets", 0)
-	mu.Unlock()
-	if err != nil {
+	if err := alice.cli.Post("chat", "over real sockets", 0); err != nil {
 		t.Fatal(err)
 	}
 	select {

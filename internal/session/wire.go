@@ -1,12 +1,8 @@
 package session
 
-import (
-	"fmt"
+import "repro/internal/fabric"
 
-	"repro/internal/transport"
-)
-
-// Wire type tags for the TCP transport.
+// Wire type tags for byte-oriented transports.
 const (
 	tagJoin     = "session/join"
 	tagJoinAck  = "session/join-ack"
@@ -18,86 +14,23 @@ const (
 	tagLeave    = "session/leave"
 )
 
-// EndpointConduit adapts a transport.Endpoint (in-memory hub or TCP) to the
-// Conduit interface used by Host and Client, JSON-encoding the session wire
-// messages. Incoming traffic must be routed with DecodePayload and handed to
-// Host.Receive / Client.Receive.
-type EndpointConduit struct {
-	ep transport.Endpoint
+// RegisterWire registers the session wire messages with a fabric codec, so
+// Host and Client can run over fabric.FromTransport endpoints (in-memory
+// hub or TCP) as well as netsim.
+func RegisterWire(c *fabric.Codec) {
+	c.Register(tagJoin, MsgJoin{})
+	c.Register(tagJoinAck, MsgJoinAck{})
+	c.Register(tagPost, MsgPost{})
+	c.Register(tagItems, MsgItems{})
+	c.Register(tagPoll, MsgPoll{})
+	c.Register(tagMode, MsgMode{})
+	c.Register(tagPresence, MsgPresence{})
+	c.Register(tagLeave, MsgLeave{})
 }
 
-var _ Conduit = (*EndpointConduit)(nil)
-
-// NewEndpointConduit wraps ep.
-func NewEndpointConduit(ep transport.Endpoint) *EndpointConduit {
-	return &EndpointConduit{ep: ep}
-}
-
-// ID returns the endpoint identifier.
-func (c *EndpointConduit) ID() string { return c.ep.ID() }
-
-// Send JSON-encodes a session message and transmits it.
-func (c *EndpointConduit) Send(to string, payload any, size int) error {
-	var tag string
-	switch payload.(type) {
-	case *MsgJoin, MsgJoin:
-		tag = tagJoin
-	case *MsgJoinAck, MsgJoinAck:
-		tag = tagJoinAck
-	case *MsgPost, MsgPost:
-		tag = tagPost
-	case *MsgItems, MsgItems:
-		tag = tagItems
-	case *MsgPoll, MsgPoll:
-		tag = tagPoll
-	case *MsgMode, MsgMode:
-		tag = tagMode
-	case *MsgPresence, MsgPresence:
-		tag = tagPresence
-	case *MsgLeave, MsgLeave:
-		tag = tagLeave
-	default:
-		return fmt.Errorf("session: cannot encode %T", payload)
-	}
-	data, err := transport.Marshal(tag, payload)
-	if err != nil {
-		return err
-	}
-	return c.ep.Send(to, data)
-}
-
-// DecodePayload parses wire data back into the typed session message that
-// Host.Receive / Client.Receive expect. Unknown tags return (nil, nil) so
-// mixed-traffic endpoints can skip them.
-func DecodePayload(data []byte) (any, error) {
-	env, err := transport.Unmarshal(data)
-	if err != nil {
-		return nil, err
-	}
-	decode := func(out any) (any, error) {
-		if err := transport.Decode(env, out); err != nil {
-			return nil, err
-		}
-		return out, nil
-	}
-	switch env.Type {
-	case tagJoin:
-		return decode(&MsgJoin{})
-	case tagJoinAck:
-		return decode(&MsgJoinAck{})
-	case tagPost:
-		return decode(&MsgPost{})
-	case tagItems:
-		return decode(&MsgItems{})
-	case tagPoll:
-		return decode(&MsgPoll{})
-	case tagMode:
-		return decode(&MsgMode{})
-	case tagPresence:
-		return decode(&MsgPresence{})
-	case tagLeave:
-		return decode(&MsgLeave{})
-	default:
-		return nil, nil
-	}
+// NewWireCodec returns a codec pre-loaded with the session wire messages.
+func NewWireCodec() *fabric.Codec {
+	c := fabric.NewCodec()
+	RegisterWire(c)
+	return c
 }

@@ -5,51 +5,35 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/transport"
 )
 
 // TestSessionOverHub runs a real host and client over the in-memory
 // transport with JSON wire encoding — the same path cmd/sessiond uses over
-// TCP.
+// TCP. Host and Client self-synchronize; the test only guards its own
+// slices.
 func TestSessionOverHub(t *testing.T) {
 	hub := transport.NewHub()
-	hostEP := hub.MustAttach("host")
-	cliEP := hub.MustAttach("alice")
+	hostEP := fabric.FromTransport(hub.MustAttach("host"), NewWireCodec())
+	cliEP := fabric.FromTransport(hub.MustAttach("alice"), NewWireCodec())
 	defer hostEP.Close()
 	defer cliEP.Close()
 
-	var mu sync.Mutex
 	start := time.Now()
 	clock := func() time.Duration { return time.Since(start) }
-	host := NewHost(NewEndpointConduit(hostEP), Synchronous, clock)
-	hostEP.SetHandler(func(from string, data []byte) {
-		payload, err := DecodePayload(data)
-		if err != nil || payload == nil {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		host.Receive(from, payload)
-	})
+	NewHost(hostEP, Synchronous, clock)
 
+	var mu sync.Mutex
 	var items []Item
 	joined := make(chan struct{})
-	cli := NewClient(NewEndpointConduit(cliEP), "host")
+	cli := NewClient(cliEP, "host")
 	cli.OnJoined = func(Mode, []string) { close(joined) }
-	// OnItem runs inside the endpoint handler, which already holds mu — it
-	// must not lock mu itself.
 	cli.OnItem = func(it Item) {
-		items = append(items, it)
-	}
-	cliEP.SetHandler(func(from string, data []byte) {
-		payload, err := DecodePayload(data)
-		if err != nil || payload == nil {
-			return
-		}
 		mu.Lock()
-		cli.Receive(from, payload)
+		items = append(items, it)
 		mu.Unlock()
-	})
+	}
 
 	if err := cli.Join(0); err != nil {
 		t.Fatal(err)
@@ -61,28 +45,16 @@ func TestSessionOverHub(t *testing.T) {
 	}
 
 	// A second participant posts; alice receives the JSON-decoded item.
-	bobEP := hub.MustAttach("bob")
+	bobEP := fabric.FromTransport(hub.MustAttach("bob"), NewWireCodec())
 	defer bobEP.Close()
-	bob := NewClient(NewEndpointConduit(bobEP), "host")
+	bob := NewClient(bobEP, "host")
 	bobJoined := make(chan struct{})
 	bob.OnJoined = func(Mode, []string) { close(bobJoined) }
-	bobEP.SetHandler(func(from string, data []byte) {
-		payload, err := DecodePayload(data)
-		if err != nil || payload == nil {
-			return
-		}
-		mu.Lock()
-		bob.Receive(from, payload)
-		mu.Unlock()
-	})
 	if err := bob.Join(0); err != nil {
 		t.Fatal(err)
 	}
 	<-bobJoined
-	mu.Lock()
-	err := bob.Post("chat", "hello over the wire", 0)
-	mu.Unlock()
-	if err != nil {
+	if err := bob.Post("chat", "hello over the wire", 0); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -105,23 +77,47 @@ func TestSessionOverHub(t *testing.T) {
 	}
 }
 
-func TestDecodePayloadUnknownAndGarbage(t *testing.T) {
-	if _, err := DecodePayload([]byte("{broken")); err == nil {
+func TestWireCodecUnknownAndGarbage(t *testing.T) {
+	c := NewWireCodec()
+	if _, err := c.Decode([]byte("{broken")); err == nil {
 		t.Error("garbage should error")
 	}
-	data, _ := transport.Marshal("other/tag", map[string]int{"x": 1})
-	payload, err := DecodePayload(data)
+	data, _ := fabric.Marshal("other/tag", map[string]int{"x": 1})
+	payload, err := c.Decode(data)
 	if err != nil || payload != nil {
 		t.Errorf("unknown tag = %v, %v; want nil, nil", payload, err)
 	}
 }
 
-func TestEndpointConduitRejectsForeignPayload(t *testing.T) {
+func TestWireEndpointRejectsForeignPayload(t *testing.T) {
 	hub := transport.NewHub()
-	ep := hub.MustAttach("x")
+	ep := fabric.FromTransport(hub.MustAttach("x"), NewWireCodec())
 	defer ep.Close()
-	c := NewEndpointConduit(ep)
-	if err := c.Send("x", 42, 0); err == nil {
+	if err := ep.Send("x", 42, 0); err == nil {
 		t.Error("non-session payload should be rejected")
+	}
+}
+
+func TestWireCodecRoundTripsEveryMessage(t *testing.T) {
+	c := NewWireCodec()
+	msgs := []any{
+		&MsgJoin{From: "a", Since: 2, State: Away},
+		&MsgJoinAck{Mode: Asynchronous, Backlog: []Item{{Seq: 1, From: "b", Kind: "chat", Body: "x"}}, Members: []string{"a", "b"}},
+		&MsgPost{From: "a", Kind: "edit", Body: "insert"},
+		&MsgItems{Items: []Item{{Seq: 2, From: "a"}}},
+		&MsgPoll{From: "a", Since: 1},
+		&MsgMode{Mode: Synchronous},
+		&MsgPresence{From: "a", State: Active},
+		&MsgLeave{From: "a"},
+	}
+	for _, m := range msgs {
+		data, err := c.Encode(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := c.Decode(data)
+		if err != nil || got == nil {
+			t.Fatalf("decode %T: %v, %v", m, got, err)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 	"repro/internal/qos"
 )
@@ -65,9 +66,11 @@ func linkCapability(sim *netsim.Sim, from, to string) qos.Params {
 // Establish negotiates a tier for the path from srcNode to each sink node
 // and builds the wired-up source and sinks. Tiers must be ordered best
 // first; requirement is the consumer's floor. bufDepth is the sinks' jitter
-// buffer depth and window the monitoring period.
+// buffer depth and window the monitoring period. Optional middlewares are
+// applied to every endpoint the binding creates (source and sinks).
 func Establish(sim *netsim.Sim, srcID string, sinkIDs []string, media string,
-	tiers []Tier, requirement qos.Params, bufDepth, window time.Duration) (*Binding, error) {
+	tiers []Tier, requirement qos.Params, bufDepth, window time.Duration,
+	mw ...fabric.Middleware) (*Binding, error) {
 	if len(tiers) == 0 {
 		return nil, ErrNoTiers
 	}
@@ -95,7 +98,7 @@ func Establish(sim *netsim.Sim, srcID string, sinkIDs []string, media string,
 	if srcNode == nil {
 		return nil, fmt.Errorf("stream: %w %q", netsim.ErrUnknownNode, srcID)
 	}
-	src, err := NewSource(sim, srcNode, srcID+"/"+media, media, sinkIDs, tiers)
+	src, err := NewSource(sim, fabric.Wrap(fabric.FromSim(srcNode), mw...), srcID+"/"+media, media, sinkIDs, tiers)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +114,7 @@ func Establish(sim *netsim.Sim, srcID string, sinkIDs []string, media string,
 		}
 		sink := NewSink(sim, dst, tiers[agreedIdx].Interval, bufDepth)
 		sink.SetMonitor(qos.NewMonitor(tiers[agreedIdx].Contract, window))
-		node.SetHandler(sink.Handle)
+		fabric.Wrap(fabric.FromSim(node), mw...).SetHandler(sink.Handle)
 		b.sinks = append(b.sinks, sink)
 	}
 	return b, nil

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 	"repro/internal/qos"
 )
@@ -56,10 +57,11 @@ var (
 )
 
 // Source generates frames of the current tier at its interval and sends
-// them to every sink node (group delivery when len(sinks) > 1).
+// them through its fabric endpoint to every sink (group delivery when
+// len(sinks) > 1).
 type Source struct {
 	sim   *netsim.Sim
-	node  *netsim.Node
+	ep    fabric.Endpoint
 	id    string
 	media string
 	sinks []string
@@ -71,13 +73,15 @@ type Source struct {
 	sent  int
 }
 
-// NewSource creates a stream source on the given simulated node.
-func NewSource(sim *netsim.Sim, node *netsim.Node, id, media string, sinks []string, tiers []Tier) (*Source, error) {
+// NewSource creates a stream source on the given fabric endpoint; the
+// source only sends, so the endpoint's handler side stays free for a
+// co-located sink.
+func NewSource(sim *netsim.Sim, ep fabric.Endpoint, id, media string, sinks []string, tiers []Tier) (*Source, error) {
 	if len(tiers) == 0 {
 		return nil, ErrNoTiers
 	}
 	return &Source{
-		sim: sim, node: node, id: id, media: media,
+		sim: sim, ep: ep, id: id, media: media,
 		sinks: append([]string(nil), sinks...),
 		tiers: append([]Tier(nil), tiers...),
 	}, nil
@@ -132,7 +136,7 @@ func (s *Source) tick(epoch int) {
 	f := &Frame{Stream: s.id, Seq: s.seq, Gen: s.sim.Now(), Size: t.Size, Media: s.media}
 	for _, dst := range s.sinks {
 		// Loss and partitions surface at the sinks as QoS violations.
-		_ = s.node.Send(dst, f, t.Size)
+		_ = s.ep.Send(dst, f, t.Size)
 	}
 	s.sim.At(t.Interval, func() { s.tick(epoch) })
 }
@@ -208,9 +212,10 @@ func (k *Sink) CueAt(seq uint64, fn func()) { k.cues[seq] = fn }
 // SetInterval retunes the sink to a new frame period (after adaptation).
 func (k *Sink) SetInterval(d time.Duration) { k.interval = d }
 
-// Handle ingests a frame; wire the node handler to call this.
-func (k *Sink) Handle(m netsim.Msg) {
-	f, ok := m.Payload.(*Frame)
+// Handle ingests a frame; it is a fabric.Handler, so wire it straight into
+// the sink's endpoint with SetHandler.
+func (k *Sink) Handle(from string, payload any, size int) {
+	f, ok := payload.(*Frame)
 	if !ok {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 	"repro/internal/qos"
 )
@@ -33,12 +34,12 @@ func TestSourceSinkDelivery(t *testing.T) {
 	sim := netsim.New(1, netsim.Link{Latency: ms(5)})
 	sim.MustAddNode("src")
 	dst := sim.MustAddNode("dst")
-	src, err := NewSource(sim, sim.Node("src"), "a", "audio", []string{"dst"}, audioTiers())
+	src, err := NewSource(sim, fabric.FromSim(sim.Node("src")), "a", "audio", []string{"dst"}, audioTiers())
 	if err != nil {
 		t.Fatal(err)
 	}
 	sink := NewSink(sim, "dst", ms(20), ms(30))
-	dst.SetHandler(sink.Handle)
+	fabric.FromSim(dst).SetHandler(sink.Handle)
 	var played []uint64
 	sink.OnPlay = func(f *Frame, _ time.Duration) {
 		if f != nil {
@@ -68,9 +69,9 @@ func TestJitterBufferAbsorbsJitter(t *testing.T) {
 		sim := netsim.New(9, netsim.Link{Latency: ms(10), Jitter: ms(25)})
 		sim.MustAddNode("src")
 		dst := sim.MustAddNode("dst")
-		src, _ := NewSource(sim, sim.Node("src"), "a", "audio", []string{"dst"}, audioTiers())
+		src, _ := NewSource(sim, fabric.FromSim(sim.Node("src")), "a", "audio", []string{"dst"}, audioTiers())
 		sink := NewSink(sim, "dst", ms(20), depth)
-		dst.SetHandler(sink.Handle)
+		fabric.FromSim(dst).SetHandler(sink.Handle)
 		src.Start()
 		sim.At(2*time.Second, src.Stop)
 		sim.Run()
@@ -90,9 +91,9 @@ func TestEventDrivenSyncCue(t *testing.T) {
 	sim := netsim.New(1, netsim.Link{Latency: ms(5)})
 	sim.MustAddNode("src")
 	dst := sim.MustAddNode("dst")
-	src, _ := NewSource(sim, sim.Node("src"), "a", "audio", []string{"dst"}, audioTiers())
+	src, _ := NewSource(sim, fabric.FromSim(sim.Node("src")), "a", "audio", []string{"dst"}, audioTiers())
 	sink := NewSink(sim, "dst", ms(20), ms(30))
-	dst.SetHandler(sink.Handle)
+	fabric.FromSim(dst).SetHandler(sink.Handle)
 	var cueAt time.Duration
 	sink.CueAt(10, func() { cueAt = sim.Now() })
 	src.Start()
@@ -120,16 +121,16 @@ func TestContinuousSyncBoundsSkew(t *testing.T) {
 		vn := sim.MustAddNode("vdst")
 		// Video takes a much slower path.
 		sim.SetLink("vsrc", "vdst", netsim.Link{Latency: ms(90)})
-		audio, _ := NewSource(sim, sim.Node("asrc"), "a", "audio", []string{"adst"}, audioTiers())
+		audio, _ := NewSource(sim, fabric.FromSim(sim.Node("asrc")), "a", "audio", []string{"adst"}, audioTiers())
 		vt := []Tier{{Name: "v", Interval: ms(40), Size: 1000, Contract: qos.Params{}}}
-		video, _ := NewSource(sim, sim.Node("vsrc"), "v", "video", []string{"vdst"}, vt)
+		video, _ := NewSource(sim, fabric.FromSim(sim.Node("vsrc")), "v", "video", []string{"vdst"}, vt)
 		asink := NewSink(sim, "adst", ms(20), ms(40))
 		vsink := NewSink(sim, "vdst", ms(40), ms(40))
 		if slave {
 			NewSyncGroup(asink, vsink)
 		}
-		an.SetHandler(asink.Handle)
-		vn.SetHandler(vsink.Handle)
+		fabric.FromSim(an).SetHandler(asink.Handle)
+		fabric.FromSim(vn).SetHandler(vsink.Handle)
 		var maxSkew time.Duration
 		asink.OnPlay = func(f *Frame, _ time.Duration) {
 			if f != nil && vsink.LastGen() > 0 {
@@ -244,7 +245,7 @@ func TestSourceTierSwitch(t *testing.T) {
 	sim := netsim.New(1, netsim.LANLink)
 	sim.MustAddNode("src")
 	sim.MustAddNode("dst")
-	src, err := NewSource(sim, sim.Node("src"), "a", "audio", []string{"dst"}, audioTiers())
+	src, err := NewSource(sim, fabric.FromSim(sim.Node("src")), "a", "audio", []string{"dst"}, audioTiers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,9 +265,9 @@ func BenchmarkStreamSecond(b *testing.B) {
 		sim := netsim.New(1, netsim.Link{Latency: ms(5)})
 		sim.MustAddNode("src")
 		dst := sim.MustAddNode("dst")
-		src, _ := NewSource(sim, sim.Node("src"), "a", "audio", []string{"dst"}, audioTiers())
+		src, _ := NewSource(sim, fabric.FromSim(sim.Node("src")), "a", "audio", []string{"dst"}, audioTiers())
 		sink := NewSink(sim, "dst", ms(20), ms(30))
-		dst.SetHandler(sink.Handle)
+		fabric.FromSim(dst).SetHandler(sink.Handle)
 		src.Start()
 		sim.At(time.Second, src.Stop)
 		sim.Run()

@@ -7,9 +7,7 @@
 package transport
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
 	"sync"
 )
 
@@ -34,44 +32,6 @@ type Endpoint interface {
 	SetHandler(h Handler)
 	// Close releases resources and stops delivery.
 	Close() error
-}
-
-// Envelope is the standard typed wire format used by layers above the raw
-// transport: a type tag plus a JSON body.
-type Envelope struct {
-	Type string          `json:"type"`
-	Body json.RawMessage `json:"body"`
-}
-
-// Marshal builds an envelope of the given type around body.
-func Marshal(msgType string, body any) ([]byte, error) {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return nil, fmt.Errorf("marshal %s body: %w", msgType, err)
-	}
-	env := Envelope{Type: msgType, Body: raw}
-	data, err := json.Marshal(env)
-	if err != nil {
-		return nil, fmt.Errorf("marshal %s envelope: %w", msgType, err)
-	}
-	return data, nil
-}
-
-// Unmarshal parses an envelope from wire data.
-func Unmarshal(data []byte) (Envelope, error) {
-	var env Envelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return Envelope{}, fmt.Errorf("unmarshal envelope: %w", err)
-	}
-	return env, nil
-}
-
-// Decode parses an envelope body into out.
-func Decode(env Envelope, out any) error {
-	if err := json.Unmarshal(env.Body, out); err != nil {
-		return fmt.Errorf("decode %s body: %w", env.Type, err)
-	}
-	return nil
 }
 
 // queue is an unbounded FIFO with blocking receive, used to decouple senders

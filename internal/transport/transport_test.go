@@ -20,37 +20,6 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 	t.Fatalf("timeout waiting for %s", what)
 }
 
-func TestEnvelopeRoundTrip(t *testing.T) {
-	type body struct {
-		X int    `json:"x"`
-		S string `json:"s"`
-	}
-	data, err := Marshal("test", body{X: 7, S: "hi"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	env, err := Unmarshal(data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if env.Type != "test" {
-		t.Errorf("Type = %q", env.Type)
-	}
-	var out body
-	if err := Decode(env, &out); err != nil {
-		t.Fatal(err)
-	}
-	if out.X != 7 || out.S != "hi" {
-		t.Errorf("body = %+v", out)
-	}
-}
-
-func TestUnmarshalGarbage(t *testing.T) {
-	if _, err := Unmarshal([]byte("{not json")); err == nil {
-		t.Error("want error for garbage envelope")
-	}
-}
-
 func TestHubBasicDelivery(t *testing.T) {
 	h := NewHub()
 	a := h.MustAttach("a")
@@ -369,17 +338,6 @@ func TestEndpointIdentity(t *testing.T) {
 	}
 	if addr, ok := book.Lookup("tcp-id"); !ok || addr != tcp.Addr() {
 		t.Error("listen address not registered")
-	}
-}
-
-func TestDecodeBadBody(t *testing.T) {
-	data, _ := Marshal("t", map[string]any{"x": "string"})
-	env, _ := Unmarshal(data)
-	var out struct {
-		X int `json:"x"`
-	}
-	if err := Decode(env, &out); err == nil {
-		t.Error("type-mismatched decode should fail")
 	}
 }
 
