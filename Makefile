@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all check build vet test race bench experiments examples cover
+.PHONY: all check build vet test race bench chaos experiments examples cover
 
 all: check
 
@@ -20,6 +20,13 @@ race:
 
 bench:
 	go test -run XXXNONE -bench=. -benchmem ./...
+
+# Short-mode chaos matrix under the race detector, over a fixed seed set.
+# Any violation prints the seed and a one-command replay.
+chaos:
+	go test -race ./internal/chaos
+	go test -race ./internal/chaos -chaos.seed=11
+	go test -race ./internal/chaos -chaos.seed=23
 
 experiments:
 	go run ./cmd/experiments

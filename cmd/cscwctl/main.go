@@ -1,12 +1,19 @@
-// Command cscwctl is the interactive client for cmd/sessiond: it joins a
+// Command cscwctl is the control tool for the CSCW stack. With no
+// subcommand it is the interactive client for cmd/sessiond: it joins a
 // TCP-hosted session, posts items from stdin, and prints items, presence
 // changes and mode switches as they arrive.
 //
 // Usage:
 //
 //	cscwctl -user alice [-host 127.0.0.1:7480]
+//	cscwctl chaos -list
+//	cscwctl chaos -scenario <name> [-seed <n>] [-v]
 //
-// Stdin commands:
+// The chaos subcommand runs one deterministic fault scenario from
+// internal/chaos and exits non-zero if any invariant is violated; -v prints
+// the full event trace. The same seed always reproduces the same trace.
+//
+// Stdin commands (session client):
 //
 //	/poll           fetch items (asynchronous sessions)
 //	/away /back     change presence
@@ -23,15 +30,62 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fabric"
 	"repro/internal/session"
 	"repro/internal/transport"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "chaos" {
+		os.Exit(runChaos(args[1:]))
+	}
+	if err := run(args); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runChaos executes one chaos scenario and reports via the exit code:
+// 0 all invariants held, 1 a violation (replay instructions on stdout),
+// 2 usage error.
+func runChaos(args []string) int {
+	fs := flag.NewFlagSet("cscwctl chaos", flag.ContinueOnError)
+	scenario := fs.String("scenario", "", "scenario name (see -list)")
+	seed := fs.Int64("seed", 7, "world seed; the same seed reproduces the same trace")
+	verbose := fs.Bool("v", false, "print the full event trace")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, s := range chaos.Scenarios() {
+			broken := ""
+			if s.Broken {
+				broken = " [deliberately broken]"
+			}
+			fmt.Printf("%-24s %s%s\n", s.Name, s.Desc, broken)
+			fmt.Printf("%-24s   invariant: %s\n", "", s.Invariant)
+		}
+		return 0
+	}
+	if *scenario == "" {
+		fmt.Fprintln(os.Stderr, "cscwctl chaos: -scenario is required (try -list)")
+		return 2
+	}
+	r, err := chaos.Run(*scenario, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cscwctl chaos: %v\n", err)
+		return 2
+	}
+	if *verbose {
+		os.Stdout.Write(r.Trace)
+	}
+	fmt.Println(r.Report())
+	if !r.OK() {
+		return 1
+	}
+	return 0
 }
 
 func run(args []string) error {

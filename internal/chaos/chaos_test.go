@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// seedFlag pins the matrix to one seed — the replay hook printed on every
+// violation. Zero means the fixed CI seed.
+var seedFlag = flag.Int64("chaos.seed", 0, "run chaos scenarios with this seed (0 = fixed CI seed)")
+
+// ciSeed is the fixed seed the short-mode matrix runs under.
+const ciSeed = 7
+
+func matrixSeed() int64 {
+	if *seedFlag != 0 {
+		return *seedFlag
+	}
+	return ciSeed
+}
+
+// TestChaosScenarios is the CI matrix: every non-broken scenario once,
+// under the fixed seed (or -chaos.seed for a replay).
+func TestChaosScenarios(t *testing.T) {
+	for _, s := range Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			r, err := Run(s.Name, matrixSeed())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if testing.Verbose() {
+				t.Logf("trace:\n%s", r.Trace)
+			}
+			if !r.OK() {
+				t.Errorf("%s", r.Report())
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism: the same seed must produce a byte-identical event
+// trace — the property that makes every violation replayable.
+func TestChaosDeterminism(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			a, err := Run(s.Name, ciSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(s.Name, ciSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Trace, b.Trace) {
+				t.Fatalf("same seed, different traces:\n--- first\n%s\n--- second\n%s", a.Trace, b.Trace)
+			}
+			c, err := Run(s.Name, ciSeed+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(a.Trace, c.Trace) {
+				t.Fatalf("different seeds produced identical traces; the seed is not reaching the world")
+			}
+		})
+	}
+}
+
+// TestChaosViolationReporting drives the deliberately broken scenario and
+// checks the harness's own failure path: the violation must be detected and
+// the report must carry the seed and a replay command.
+func TestChaosViolationReporting(t *testing.T) {
+	const seed = 99
+	r, err := Run("induced-drop-blindness", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatal("broken scenario reported no violation; the checkers are blind")
+	}
+	rep := r.Report()
+	for _, want := range []string{
+		"INVARIANT VIOLATION",
+		fmt.Sprintf("seed %d", seed),
+		fmt.Sprintf("-chaos.seed=%d", seed),
+		fmt.Sprintf("cscwctl chaos -scenario induced-drop-blindness -seed %d", seed),
+		"[no-loss]",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(string(r.Trace), "VIOLATION [no-loss]") {
+		t.Errorf("trace does not record the violation:\n%s", r.Trace)
+	}
+	for _, s := range Matrix() {
+		if s.Broken {
+			t.Errorf("broken scenario %q leaked into the CI matrix", s.Name)
+		}
+	}
+}
+
+// TestChaosAccountingDetectsUndrainedWork guards the accounting checker
+// itself: a world whose simulator still holds events must be flagged, not
+// silently reconciled.
+func TestChaosAccountingDetectsUndrainedWork(t *testing.T) {
+	w := newWorld(1)
+	w.Endpoint("a")
+	w.Endpoint("b")
+	w.Sim.At(5_000_000, func() {}) // pending event, never drained
+	w.checkAccounting()
+	if len(w.violations) == 0 {
+		t.Fatal("undrained simulator passed the accounting check")
+	}
+}
+
+// TestChaosSoak sweeps every scenario over many seeds. Gated behind
+// CHAOS_SOAK (a seed count) because it multiplies the matrix cost.
+func TestChaosSoak(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("CHAOS_SOAK"))
+	if n <= 0 {
+		t.Skip("set CHAOS_SOAK=<seed count> to run the soak sweep")
+	}
+	for _, s := range Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= int64(n); seed++ {
+				r, err := Run(s.Name, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.OK() {
+					t.Errorf("seed %d:\n%s", seed, r.Report())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortedKeys returns the map's keys in deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkSameSequences asserts that every participant observed the identical
+// ordered sequence — the agreement invariant for totally-ordered delivery.
+func checkSameSequences(w *World, invariant string, got map[string][]string) {
+	ids := sortedKeys(got)
+	if len(ids) < 2 {
+		return
+	}
+	ref := got[ids[0]]
+	for _, id := range ids[1:] {
+		seq := got[id]
+		if len(seq) != len(ref) {
+			w.Violatef(invariant, "%s observed %d events, %s observed %d",
+				ids[0], len(ref), id, len(seq))
+			return
+		}
+		for i := range ref {
+			if seq[i] != ref[i] {
+				w.Violatef(invariant, "divergence at index %d: %s saw %q, %s saw %q",
+					i, ids[0], ref[i], id, seq[i])
+				return
+			}
+		}
+	}
+}
+
+// checkSameSets asserts that every participant observed the identical
+// multiset of events, order aside — the convergence invariant for delivery
+// guarantees weaker than total order.
+func checkSameSets(w *World, invariant string, got map[string][]string) {
+	ids := sortedKeys(got)
+	if len(ids) < 2 {
+		return
+	}
+	canon := func(s []string) []string {
+		c := append([]string(nil), s...)
+		sort.Strings(c)
+		return c
+	}
+	ref := canon(got[ids[0]])
+	for _, id := range ids[1:] {
+		set := canon(got[id])
+		if d := firstDiff(ref, set); d != "" {
+			w.Violatef(invariant, "%s and %s delivered different sets: %s", ids[0], id, d)
+			return
+		}
+	}
+}
+
+// checkCompleteSet asserts one participant's observed multiset equals the
+// expected multiset.
+func checkCompleteSet(w *World, invariant, who string, got, want []string) {
+	g := append([]string(nil), got...)
+	wv := append([]string(nil), want...)
+	sort.Strings(g)
+	sort.Strings(wv)
+	if d := firstDiff(wv, g); d != "" {
+		w.Violatef(invariant, "%s incomplete: %s", who, d)
+	}
+}
+
+// firstDiff describes the first difference between two sorted slices, or
+// returns "" when equal.
+func firstDiff(want, got []string) string {
+	for i := 0; i < len(want) || i < len(got); i++ {
+		switch {
+		case i >= len(want):
+			return fmt.Sprintf("unexpected %q (got %d, want %d items)", got[i], len(got), len(want))
+		case i >= len(got):
+			return fmt.Sprintf("missing %q (got %d, want %d items)", want[i], len(got), len(want))
+		case want[i] != got[i]:
+			return fmt.Sprintf("at %d want %q, got %q", i, want[i], got[i])
+		}
+	}
+	return ""
+}

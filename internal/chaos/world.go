@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/netsim"
+)
+
+// trace is the deterministic event log: every line is stamped with virtual
+// time, so two runs of the same scenario and seed must produce identical
+// bytes. Nothing wall-clock or map-ordered may be written here.
+type trace struct {
+	buf bytes.Buffer
+}
+
+func (t *trace) eventf(at time.Duration, format string, args ...any) {
+	fmt.Fprintf(&t.buf, "[%12s] %s\n", at, fmt.Sprintf(format, args...))
+}
+
+func (t *trace) bytes() []byte { return t.buf.Bytes() }
+
+// nodeChain is one simulated host's fabric stack: the substrate adapter
+// wrapped (inside out) by a handler-stall injector, a send-fault injector,
+// a delivery digest tap, and the world's shared metrics collector.
+type nodeChain struct {
+	id     string
+	base   *fabric.SimEndpoint
+	faults *fabric.Faults
+	stall  *fabric.Stall
+	ep     fabric.Endpoint
+	digest uint64 // FNV-1a over (virtual time, from, payload type, size) of every delivery
+	recvd  uint64
+}
+
+// World is the environment one scenario runs in: a seeded simulator, a
+// fabric endpoint per node with per-node fault and stall injectors, a
+// shared metrics collector whose drop probe spans every endpoint, the
+// deterministic trace, and the accumulated invariant violations.
+type World struct {
+	Seed    int64
+	Sim     *netsim.Sim
+	Metrics *fabric.Metrics
+
+	trace      *trace
+	nodes      map[string]*nodeChain
+	order      []string // node creation order: the deterministic iteration order
+	violations []Violation
+}
+
+func newWorld(seed int64) *World {
+	return &World{
+		Seed:    seed,
+		Sim:     netsim.New(seed, netsim.LANLink),
+		Metrics: fabric.NewMetrics(),
+		trace:   &trace{},
+		nodes:   make(map[string]*nodeChain),
+	}
+}
+
+// Logf records a scenario event in the trace at the current virtual time.
+func (w *World) Logf(format string, args ...any) {
+	w.trace.eventf(w.Sim.Now(), format, args...)
+}
+
+// Violatef records a failed invariant check, in the trace and the result.
+func (w *World) Violatef(invariant, format string, args ...any) {
+	v := Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+	w.violations = append(w.violations, v)
+	w.trace.eventf(w.Sim.Now(), "VIOLATION [%s] %s", v.Invariant, v.Detail)
+}
+
+// Endpoint returns (creating on first use) the named node's fabric
+// endpoint: SimEndpoint wrapped by Stall, Faults and the shared Metrics.
+// The per-node fault injector's randomness derives deterministically from
+// the world seed and the node name.
+func (w *World) Endpoint(id string) fabric.Endpoint {
+	if nc, ok := w.nodes[id]; ok {
+		return nc.ep
+	}
+	nc := &nodeChain{id: id}
+	nc.base = fabric.FromSim(w.Sim.MustAddNode(id))
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	nc.faults = fabric.NewFaults(w.Seed ^ int64(h.Sum64())).
+		SetTimer(func(d time.Duration, fn func()) { w.Sim.At(d, fn) })
+	nc.stall = fabric.NewStall().
+		SetTimer(func(d time.Duration, fn func()) { w.Sim.At(d, fn) })
+	digestTap := fabric.Tap(nil, func(peer string, payload any, size int) {
+		nc.recvd++
+		dh := fnv.New64a()
+		fmt.Fprintf(dh, "%d|%s|%s|%T|%d", nc.digest, w.Sim.Now(), peer, payload, size)
+		nc.digest = dh.Sum64()
+	})
+	nc.ep = fabric.Wrap(nc.base,
+		digestTap, w.Metrics.Middleware(), nc.faults.Middleware(), nc.stall.Middleware())
+	w.nodes[id] = nc
+	w.order = append(w.order, id)
+	return nc.ep
+}
+
+// Faults returns the named node's send-path fault injector (creating the
+// node if needed).
+func (w *World) Faults(id string) *fabric.Faults {
+	w.Endpoint(id)
+	return w.nodes[id].faults
+}
+
+// Stall returns the named node's handler-stall injector (creating the node
+// if needed).
+func (w *World) Stall(id string) *fabric.Stall {
+	w.Endpoint(id)
+	return w.nodes[id].stall
+}
+
+// Timer adapts the simulator clock to the group.Timer shape.
+func (w *World) Timer(d time.Duration, fn func()) { w.Sim.At(d, fn) }
+
+// Run drains the simulator and then reconciles the message accounting —
+// the zero-unaccounted-drops invariant. Every scenario ends with it.
+func (w *World) Run() {
+	w.Sim.Run()
+	w.checkAccounting()
+}
+
+// checkAccounting reconciles the fabric metrics with the netsim counters:
+// every application send must end up delivered to a handler or counted in
+// exactly one drop bucket (injected fault, link down/loss/crash, inbox
+// overflow, no handler). Anything else is silent loss — a violation.
+func (w *World) checkAccounting() {
+	if p := w.Sim.Pending(); p != 0 {
+		w.Violatef("drop-accounting", "simulator queue not drained: %d events pending", p)
+		return
+	}
+	var faultDrops uint64
+	for _, id := range w.order {
+		d, _ := w.nodes[id].faults.Injected()
+		faultDrops += d
+	}
+	snap := w.Metrics.Snapshot()
+	appSends := snap.Sent + snap.SendErrs
+	simSent, simDropped := w.Sim.Stats()
+	delivered := w.Sim.Delivered()
+	noHandler := w.Sim.DroppedNoHandler()
+
+	// (1) Every app send either died in a fault injector or reached netsim.
+	if appSends != faultDrops+uint64(simSent) {
+		w.Violatef("drop-accounting",
+			"app sends %d != fault drops %d + netsim sends %d", appSends, faultDrops, simSent)
+	}
+	// (2) Netsim conserves messages across its drop buckets.
+	if simSent != delivered+simDropped+noHandler {
+		w.Violatef("drop-accounting",
+			"netsim sent %d != delivered %d + dropped %d + no-handler %d",
+			simSent, delivered, simDropped, noHandler)
+	}
+	// (3) Every netsim delivery reached an application handler or was
+	// counted by an inbox (overflow/decode) drop. The Dropped probe here
+	// spans every wrapped endpoint.
+	if uint64(delivered) != snap.Recv+snap.Dropped {
+		w.Violatef("drop-accounting",
+			"netsim delivered %d != handler deliveries %d + inbox drops %d",
+			delivered, snap.Recv, snap.Dropped)
+	}
+}
+
+// finish appends the deterministic run summary — counters and per-node
+// delivery digests — to the trace.
+func (w *World) finish() {
+	at := w.Sim.Now()
+	snap := w.Metrics.Snapshot()
+	sent, dropped := w.Sim.Stats()
+	w.trace.eventf(at, "summary: app sent=%d senderrs=%d recv=%d inboxdrops=%d | netsim sent=%d delivered=%d dropped=%d nohandler=%d",
+		snap.Sent, snap.SendErrs, snap.Recv, snap.Dropped,
+		sent, w.Sim.Delivered(), dropped, w.Sim.DroppedNoHandler())
+	for _, id := range w.order {
+		nc := w.nodes[id]
+		var faultDrops, faultDelays uint64
+		faultDrops, faultDelays = nc.faults.Injected()
+		w.trace.eventf(at, "node %s: recv=%d digest=%016x faultdrops=%d faultdelays=%d stalled=%d inboxdrops=%d",
+			id, nc.recvd, nc.digest, faultDrops, faultDelays, nc.stall.Stalled(), nc.base.Dropped())
+	}
+	if len(w.violations) == 0 {
+		w.trace.eventf(at, "all invariants held")
+	}
+}

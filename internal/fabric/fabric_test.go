@@ -164,10 +164,17 @@ func TestFromSimOverflowCountsDropped(t *testing.T) {
 	if d := b.Dropped(); d != 5 {
 		t.Fatalf("dropped = %d, want 5", d)
 	}
-	var n int
-	b.SetHandler(func(string, any, int) { n++ })
-	if n != pendingCap {
-		t.Fatalf("flushed %d, want %d", n, pendingCap)
+	// The buffer keeps the oldest pendingCap arrivals (overflow sheds the
+	// newest), and installing the handler must flush them in arrival order.
+	var got []int
+	b.SetHandler(func(_ string, payload any, _ int) { got = append(got, payload.(int)) })
+	if len(got) != pendingCap {
+		t.Fatalf("flushed %d, want %d", len(got), pendingCap)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("flush order broken at index %d: got %d", i, v)
+		}
 	}
 }
 
@@ -266,6 +273,40 @@ func TestFromTransportBuffersBeforeHandler(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("buffered frame never flushed")
+	}
+}
+
+// TestFromTransportPayloadSnapshotAtSend: the codec encodes the payload when
+// Send is called, so mutating the object afterwards must not change what the
+// receiver decodes (the fabric-level analogue of the transport hub's
+// buffer-copy guarantee).
+func TestFromTransportPayloadSnapshotAtSend(t *testing.T) {
+	hub := transport.NewHub()
+	c := newTestCodec()
+	a := FromTransport(hub.MustAttach("a"), c)
+	b := FromTransport(hub.MustAttach("b"), c)
+	defer a.Close()
+	defer b.Close()
+
+	got := make(chan ping, 1)
+	b.SetHandler(func(from string, payload any, size int) {
+		if p, ok := payload.(*ping); ok {
+			got <- *p
+		}
+	})
+	msg := &ping{N: 1, Note: "orig"}
+	if err := a.Send("b", msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	msg.N = 99
+	msg.Note = "mutated after send"
+	select {
+	case p := <-got:
+		if p.N != 1 || p.Note != "orig" {
+			t.Fatalf("receiver saw %+v; payload not snapshotted at send time", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for delivery")
 	}
 }
 
@@ -368,6 +409,36 @@ func TestMetricsExposesDroppedThroughChain(t *testing.T) {
 	sim.Run()
 	if d := m.Snapshot().Dropped; d != 3 {
 		t.Fatalf("snapshot dropped = %d, want 3", d)
+	}
+}
+
+// TestMetricsAggregatesDropsAcrossEndpoints is the regression test for the
+// old single-probe limitation: one Metrics instance shared across several
+// wrapped endpoints used to report only the last endpoint's drops. The probe
+// must sum every wrapped substrate.
+func TestMetricsAggregatesDropsAcrossEndpoints(t *testing.T) {
+	sim := netsim.New(1, netsim.LocalLink)
+	src := FromSim(sim.MustAddNode("src"))
+	b := FromSim(sim.MustAddNode("b"))
+	c := FromSim(sim.MustAddNode("c"))
+	m := NewMetrics()
+	// Neither b nor c ever installs a handler; overflow both inboxes by
+	// different amounts so the aggregate is distinguishable from either.
+	Wrap(b, m.Middleware())
+	Wrap(c, m.Middleware())
+	for i := 0; i < pendingCap+2; i++ {
+		if err := src.Send("b", i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < pendingCap+7; i++ {
+		if err := src.Send("c", i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if d := m.Snapshot().Dropped; d != 9 {
+		t.Fatalf("snapshot dropped = %d, want 9 (2 on b + 7 on c)", d)
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 // with Snapshot.
 type Metrics struct {
 	mu         sync.Mutex
-	base       Endpoint
+	bases      []Endpoint
 	sent       uint64
 	recv       uint64
 	sendErrs   uint64
@@ -27,8 +27,9 @@ type Metrics struct {
 type MetricsSnapshot struct {
 	Sent, Recv, SendErrs uint64
 	SentBytes, RecvBytes uint64
-	// Dropped is probed from the wrapped chain's substrate adapter:
-	// deliveries lost to no-handler overflow or decode failure.
+	// Dropped is probed from the wrapped chains' substrate adapters:
+	// deliveries lost to no-handler overflow or decode failure, summed
+	// across every endpoint this collector wraps.
 	Dropped uint64
 	// AvgSendLatency is wall time spent inside the inner Send (for the
 	// simulator this is scheduling cost, not network latency).
@@ -41,20 +42,20 @@ type MetricsSnapshot struct {
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics { return &Metrics{} }
 
-// Middleware returns the wrapping middleware. A Metrics instance is meant
-// to observe a single endpoint; wrapping several aggregates their counts
-// but the drop probe follows only the last one wrapped.
+// Middleware returns the wrapping middleware. Wrapping several endpoints
+// with one Metrics instance aggregates their counts, and the drop probe
+// follows every wrapped chain (summed in Snapshot).
 func (m *Metrics) Middleware() Middleware {
 	return func(inner Endpoint) Endpoint {
 		m.mu.Lock()
-		m.base = inner
+		m.bases = append(m.bases, inner)
 		m.mu.Unlock()
 		return &metricsEndpoint{inner: inner, m: m}
 	}
 }
 
-// Snapshot returns a copy of the counters, including the substrate's
-// dropped count.
+// Snapshot returns a copy of the counters, including the substrates'
+// dropped counts summed across all wrapped endpoints.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	s := MetricsSnapshot{
@@ -67,10 +68,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if m.recv > 0 {
 		s.AvgHandlerLatency = m.handlerLat / time.Duration(m.recv)
 	}
-	base := m.base
+	bases := append([]Endpoint(nil), m.bases...)
 	m.mu.Unlock()
-	if base != nil {
-		s.Dropped = DroppedOf(base)
+	for _, base := range bases {
+		s.Dropped += DroppedOf(base)
 	}
 	return s
 }
@@ -225,6 +226,93 @@ func (e *faultEndpoint) Send(to string, payload any, size int) error {
 	}
 	f.mu.Unlock()
 	return e.inner.Send(to, payload, size)
+}
+
+// --- handler stalls -----------------------------------------------------
+
+// Stall defers delivery to the installed handler by a configurable hold
+// time — a slow or wedged application handler, as opposed to Faults which
+// models the network. Deliveries keep their arrival order (each is held for
+// the same duration through a monotonic scheduler). Configure the timer to
+// a netsim Sim.At adapter over the simulator, where real-time goroutines
+// would race virtual time.
+type Stall struct {
+	mu      sync.Mutex
+	hold    time.Duration
+	timer   func(d time.Duration, fn func())
+	stalled uint64
+}
+
+// NewStall returns a stall injector with no hold configured and the
+// real-time timer; swap the timer with SetTimer over a simulator.
+func NewStall() *Stall {
+	return &Stall{timer: func(d time.Duration, fn func()) { time.AfterFunc(d, fn) }}
+}
+
+// Hold sets how long each delivery is held before the handler runs; 0
+// disables stalling.
+func (s *Stall) Hold(d time.Duration) *Stall {
+	s.mu.Lock()
+	s.hold = d
+	s.mu.Unlock()
+	return s
+}
+
+// SetTimer replaces the hold scheduler.
+func (s *Stall) SetTimer(t func(d time.Duration, fn func())) *Stall {
+	s.mu.Lock()
+	s.timer = t
+	s.mu.Unlock()
+	return s
+}
+
+// Stalled reports how many deliveries were held so far.
+func (s *Stall) Stalled() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalled
+}
+
+// Middleware returns the wrapping middleware.
+func (s *Stall) Middleware() Middleware {
+	return func(inner Endpoint) Endpoint {
+		return &stallEndpoint{inner: inner, s: s}
+	}
+}
+
+type stallEndpoint struct {
+	inner Endpoint
+	s     *Stall
+}
+
+func (e *stallEndpoint) ID() string       { return e.inner.ID() }
+func (e *stallEndpoint) Unwrap() Endpoint { return e.inner }
+func (e *stallEndpoint) Close() error     { return e.inner.Close() }
+
+func (e *stallEndpoint) Send(to string, payload any, size int) error {
+	return e.inner.Send(to, payload, size)
+}
+
+func (e *stallEndpoint) SetHandler(h Handler) {
+	if h == nil {
+		e.inner.SetHandler(nil)
+		return
+	}
+	e.inner.SetHandler(func(from string, payload any, size int) {
+		s := e.s
+		s.mu.Lock()
+		hold := s.hold
+		timer := s.timer
+		if hold > 0 {
+			s.stalled++
+		}
+		s.mu.Unlock()
+		if hold <= 0 {
+			h(from, payload, size)
+			return
+		}
+		timer(hold, func() { h(from, payload, size) })
+	})
 }
 
 // --- tracing ------------------------------------------------------------

@@ -242,8 +242,14 @@ func (m *Member) ProposeView(v View) error {
 	for _, id := range v.Members {
 		targets[id] = true
 	}
-	pkt := &packet{Kind: kView, From: m.id, NewView: &v}
+	// Deterministic send order keeps seeded simulations replayable.
+	ids := make([]string, 0, len(targets))
 	for id := range targets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	pkt := &packet{Kind: kView, From: m.id, NewView: &v}
+	for _, id := range ids {
 		if err := m.ep.Send(id, pkt, 64); err != nil {
 			return fmt.Errorf("propose view to %s: %w", id, err)
 		}
@@ -296,13 +302,18 @@ func (m *Member) multicast(body any, size int) error {
 	return m.sendToView(pkt)
 }
 
+// sendToView is best-effort: every view member is attempted even when some
+// sends fail (partial failure must not silence members listed after the
+// first unreachable one — self-delivery in particular is unrepairable).
+// The first error is reported after all attempts.
 func (m *Member) sendToView(pkt *packet) error {
+	var first error
 	for _, id := range m.view.Members {
-		if err := m.ep.Send(id, pkt, pkt.Size+64); err != nil {
-			return fmt.Errorf("multicast to %s: %w", id, err)
+		if err := m.ep.Send(id, pkt, pkt.Size+64); err != nil && first == nil {
+			first = fmt.Errorf("multicast to %s: %w", id, err)
 		}
 	}
-	return nil
+	return first
 }
 
 func (m *Member) requestToken() error {
@@ -492,7 +503,13 @@ func (m *Member) RequestRepair() {
 	for s := range m.knownHi {
 		senders[s] = true
 	}
-	for sender := range senders {
+	// Deterministic NACK order keeps seeded simulations replayable.
+	ordered := make([]string, 0, len(senders))
+	for s := range senders {
+		ordered = append(ordered, s)
+	}
+	sort.Strings(ordered)
+	for _, sender := range ordered {
 		if sender == m.id {
 			continue
 		}

@@ -24,6 +24,7 @@ import (
 var (
 	ErrUnknownNode = errors.New("netsim: unknown node")
 	ErrNoRoute     = errors.New("netsim: no route between nodes")
+	ErrCrashed     = errors.New("netsim: node crashed")
 )
 
 // Msg is a message in flight between two simulated nodes.
@@ -45,6 +46,13 @@ type Link struct {
 	Loss      float64       // probability in [0,1] that a message is dropped
 	Bandwidth int64         // bytes/second; 0 means infinite
 	Down      bool          // true severs the link entirely
+	// Reorder is the probability in [0,1] that a message is held back by
+	// ReorderDelay on top of its normal delay, letting later sends overtake
+	// it. The hold bypasses the FIFO bandwidth serialization point, so this
+	// is the knob for exercising out-of-order delivery deterministically
+	// (the simulator's seeded RNG decides which messages are held).
+	Reorder      float64
+	ReorderDelay time.Duration
 }
 
 // Profiles for common link classes used across experiments.
@@ -121,8 +129,13 @@ type Sim struct {
 	nodes   map[string]*Node
 	links   map[linkKey]*linkState
 	deflt   Link
+	crashed map[string]bool
 	dropped int
 	sent    int
+	// delivered counts messages handed to a node handler, so harnesses can
+	// reconcile sent == delivered + dropped + noHandler once the queue
+	// drains (the zero-unaccounted-drops invariant).
+	delivered int
 	// noHandler counts deliveries that arrived at a node with no handler
 	// installed — silent loss unless the node is wrapped by a fabric
 	// adapter, which claims the handler at construction.
@@ -133,10 +146,11 @@ type Sim struct {
 // node pairs without an explicit link.
 func New(seed int64, defaultLink Link) *Sim {
 	return &Sim{
-		rng:   rand.New(rand.NewSource(seed)),
-		nodes: make(map[string]*Node),
-		links: make(map[linkKey]*linkState),
-		deflt: defaultLink,
+		rng:     rand.New(rand.NewSource(seed)),
+		nodes:   make(map[string]*Node),
+		links:   make(map[linkKey]*linkState),
+		crashed: make(map[string]bool),
+		deflt:   defaultLink,
 	}
 }
 
@@ -148,6 +162,9 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Stats reports messages sent and dropped so far.
 func (s *Sim) Stats() (sent, dropped int) { return s.sent, s.dropped }
+
+// Delivered reports messages handed to node handlers so far.
+func (s *Sim) Delivered() int { return s.delivered }
 
 // DroppedNoHandler reports deliveries lost because the destination node had
 // no handler installed at delivery time.
@@ -213,6 +230,19 @@ func (s *Sim) SetDown(a, b string, down bool) {
 	}
 }
 
+// Crash marks a node dead: messages already in flight toward it and future
+// sends to it are dropped (counted in Stats' dropped), and sends from it
+// fail with ErrCrashed. The node's handler and identity survive, modelling
+// a process crash with stable storage; Restart brings it back.
+func (s *Sim) Crash(id string) { s.crashed[id] = true }
+
+// Restart clears a node's crashed state. Messages dropped while it was down
+// stay dropped — recovery is the protocol layer's job.
+func (s *Sim) Restart(id string) { delete(s.crashed, id) }
+
+// Crashed reports whether the node is currently crashed.
+func (s *Sim) Crashed(id string) bool { return s.crashed[id] }
+
 // Partition severs all links between the two groups of nodes. Heal restores
 // them.
 func (s *Sim) Partition(groupA, groupB []string) {
@@ -271,6 +301,10 @@ func (s *Sim) Send(from, to string, payload any, size int) error {
 		s.links[key] = st
 	}
 	s.sent++
+	if s.crashed[from] {
+		s.dropped++
+		return fmt.Errorf("%w: %s", ErrCrashed, from)
+	}
 	if st.link.Down {
 		s.dropped++
 		return fmt.Errorf("%w: %s -> %s (link down)", ErrNoRoute, from, to)
@@ -292,9 +326,17 @@ func (s *Sim) Send(from, to string, payload any, size int) error {
 	if st.link.Jitter > 0 {
 		delay += time.Duration(s.rng.Int63n(int64(st.link.Jitter)))
 	}
+	if st.link.Reorder > 0 && st.link.ReorderDelay > 0 && s.rng.Float64() < st.link.Reorder {
+		delay += st.link.ReorderDelay
+	}
 	msg := Msg{From: from, To: to, Payload: payload, Size: size, Sent: s.now}
 	s.At(delay, func() {
+		if s.crashed[to] {
+			s.dropped++ // arrived at a dead host
+			return
+		}
 		if dst.handler != nil {
+			s.delivered++
 			dst.handler(msg)
 		} else {
 			s.noHandler++

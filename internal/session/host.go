@@ -188,7 +188,20 @@ func (h *Host) onPresence(m MsgPresence) {
 	if !ok {
 		return
 	}
+	was := p.presence
 	p.presence = m.State
+	// Returning to Active in a synchronous session replays the items posted
+	// while away, before any new push: resumed pushes would otherwise move
+	// the participant's cursor past the interim items, losing them for good
+	// (clients poll from their highest seen sequence number).
+	if h.mode == Synchronous && m.State == Active && was != Active {
+		missed := withoutFrom(h.itemsAfter(p.acked), m.From)
+		if len(missed) > 0 {
+			h.stats.FlushServes += len(missed)
+			h.send(m.From, &MsgItems{Items: missed}, len(missed)*32+64)
+		}
+		p.acked = h.seq
+	}
 	h.fanout(&MsgPresence{From: m.From, State: m.State}, m.From)
 }
 
@@ -210,8 +223,11 @@ func (h *Host) onPost(m MsgPost) {
 	for _, id := range h.members() {
 		p := h.parts[id]
 		if p.presence != Active || id == m.From {
-			// The poster's own item counts as delivered to it.
-			if id == m.From {
+			// The poster's own item counts as delivered to it — but only
+			// while Active, when everything before it was pushed too.
+			// Advancing an away poster's cursor would skip the interim
+			// items out of its return-to-active flush.
+			if id == m.From && p.presence == Active {
 				p.acked = it.Seq
 			}
 			continue
