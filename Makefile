@@ -1,16 +1,29 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all check build vet test race bench chaos experiments examples cover
+.PHONY: all check build vet lint test race bench chaos experiments examples cover
 
 all: check
 
-check: build vet test race
+check: build vet lint test race
 
 build:
 	go build ./...
 
+# The shadow analyzer ships outside the stdlib toolchain; run it when the
+# binary is installed, stay quiet (but honest) when it is not.
 vet:
 	go vet ./...
+	@if command -v shadow >/dev/null 2>&1; then \
+		go vet -vettool=$$(command -v shadow) ./...; \
+	else \
+		echo "vet: shadow analyzer not installed; skipping shadowed-variable pass"; \
+	fi
+
+# Project-specific invariants (determinism, layering, lock hygiene, error
+# discipline); see DESIGN.md "Enforced invariants". Exit codes: 0 clean,
+# 1 violation, 2 load error — shared with `cscwctl lint` and `cscwctl chaos`.
+lint:
+	go run ./cmd/cscwlint .
 
 test:
 	go test ./...

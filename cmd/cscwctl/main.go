@@ -8,10 +8,16 @@
 //	cscwctl -user alice [-host 127.0.0.1:7480]
 //	cscwctl chaos -list
 //	cscwctl chaos -scenario <name> [-seed <n>] [-v]
+//	cscwctl lint [dir]
 //
 // The chaos subcommand runs one deterministic fault scenario from
 // internal/chaos and exits non-zero if any invariant is violated; -v prints
 // the full event trace. The same seed always reproduces the same trace.
+//
+// The lint subcommand runs the static-analysis suite (internal/lint, same
+// engine as cmd/cscwlint) over the module containing dir (default ".").
+// Both subcommands share the exit-code contract: 0 clean, 1 violation,
+// 2 usage/load error.
 //
 // Stdin commands (session client):
 //
@@ -32,6 +38,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/fabric"
+	"repro/internal/lint"
 	"repro/internal/session"
 	"repro/internal/transport"
 )
@@ -41,9 +48,43 @@ func main() {
 	if len(args) > 0 && args[0] == "chaos" {
 		os.Exit(runChaos(args[1:]))
 	}
+	if len(args) > 0 && args[0] == "lint" {
+		os.Exit(runLint(args[1:]))
+	}
 	if err := run(args); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runLint runs the static-analysis suite, reporting via the same exit codes
+// as runChaos: 0 clean, 1 at least one violation, 2 usage or load error.
+func runLint(args []string) int {
+	fs := flag.NewFlagSet("cscwctl lint", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	dir := "."
+	switch rest := fs.Args(); len(rest) {
+	case 0:
+	case 1:
+		dir = rest[0]
+	default:
+		fmt.Fprintln(os.Stderr, "cscwctl lint: at most one directory argument")
+		return 2
+	}
+	diags, err := lint.CheckModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cscwctl lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cscwctl lint: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
 }
 
 // runChaos executes one chaos scenario and reports via the exit code:

@@ -1,0 +1,9 @@
+// Package clockbad is a deliberately dirty module for the CLI exit-code
+// regression test: linting it must exit 1.
+package clockbad
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // det-time violation, on purpose
+}

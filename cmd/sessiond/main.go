@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/session"
@@ -69,10 +68,9 @@ func run(args []string) error {
 	ep := fabric.Wrap(fabric.FromTransport(tep, codec), mws...)
 	defer ep.Close()
 
-	start := time.Now()
-	host := session.NewHost(ep, mode, func() time.Duration {
-		return time.Since(start)
-	})
+	// fabric.WallClock is the declared real-time boundary; the host itself
+	// never reads the wall clock (cscwlint det-time enforces this).
+	host := session.NewHost(ep, mode, fabric.WallClock())
 	host.OnItem = func(it session.Item) {
 		log.Printf("item #%d from %s (%s): %s", it.Seq, it.From, it.Kind, it.Body)
 	}

@@ -10,9 +10,13 @@ import (
 
 // Metrics collects per-hop counters and latencies for one wrapped endpoint.
 // Create with NewMetrics, install with m.Middleware() inside Wrap, read
-// with Snapshot.
+// with Snapshot. Latencies are measured against an injectable Clock
+// (WallClock by default); swap it with SetClock before traffic flows to
+// measure in virtual time (e.g. a netsim Sim.Now adapter), which keeps
+// seeded runs deterministic.
 type Metrics struct {
 	mu         sync.Mutex
+	clock      Clock
 	bases      []Endpoint
 	sent       uint64
 	recv       uint64
@@ -39,8 +43,25 @@ type MetricsSnapshot struct {
 	AvgHandlerLatency time.Duration
 }
 
-// NewMetrics returns an empty collector.
-func NewMetrics() *Metrics { return &Metrics{} }
+// NewMetrics returns an empty collector timing against WallClock.
+func NewMetrics() *Metrics { return &Metrics{clock: WallClock()} }
+
+// SetClock replaces the latency clock (chainable). Install it before any
+// traffic flows through wrapped endpoints.
+func (m *Metrics) SetClock(c Clock) *Metrics {
+	m.mu.Lock()
+	m.clock = c
+	m.mu.Unlock()
+	return m
+}
+
+// now reads the configured clock.
+func (m *Metrics) now() time.Duration {
+	m.mu.Lock()
+	c := m.clock
+	m.mu.Unlock()
+	return c()
+}
 
 // Middleware returns the wrapping middleware. Wrapping several endpoints
 // with one Metrics instance aggregates their counts, and the drop probe
@@ -86,9 +107,9 @@ func (e *metricsEndpoint) Unwrap() Endpoint { return e.inner }
 func (e *metricsEndpoint) Close() error     { return e.inner.Close() }
 
 func (e *metricsEndpoint) Send(to string, payload any, size int) error {
-	start := time.Now()
+	start := e.m.now()
 	err := e.inner.Send(to, payload, size)
-	lat := time.Since(start)
+	lat := e.m.now() - start
 	e.m.mu.Lock()
 	if err != nil {
 		e.m.sendErrs++
@@ -107,9 +128,9 @@ func (e *metricsEndpoint) SetHandler(h Handler) {
 		return
 	}
 	e.inner.SetHandler(func(from string, payload any, size int) {
-		start := time.Now()
+		start := e.m.now()
 		h(from, payload, size)
-		lat := time.Since(start)
+		lat := e.m.now() - start
 		e.m.mu.Lock()
 		e.m.recv++
 		e.m.recvBytes += uint64(size)

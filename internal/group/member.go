@@ -234,7 +234,6 @@ func (m *Member) installView(v View) {
 // every receiver (including the proposer) installs it.
 func (m *Member) ProposeView(v View) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	targets := map[string]bool{m.id: true}
 	for _, id := range m.view.Members {
 		targets[id] = true
@@ -249,6 +248,7 @@ func (m *Member) ProposeView(v View) error {
 	}
 	sort.Strings(ids)
 	pkt := &packet{Kind: kView, From: m.id, NewView: &v}
+	m.runCallbacks() // releases m.mu: sends must not run under the lock
 	for _, id := range ids {
 		if err := m.ep.Send(id, pkt, 64); err != nil {
 			return fmt.Errorf("propose view to %s: %w", id, err)
@@ -262,14 +262,21 @@ func (m *Member) ProposeView(v View) error {
 // hint for bandwidth accounting.
 func (m *Member) Multicast(body any, size int) error {
 	m.mu.Lock()
-	err := m.multicast(body, size)
-	m.runCallbacks()
-	return err
+	targets, pkt, err := m.multicast(body, size)
+	m.runCallbacks() // releases m.mu: the fan-out below must not run under it
+	if err != nil {
+		return err
+	}
+	return m.sendToAll(targets, pkt)
 }
 
-func (m *Member) multicast(body any, size int) error {
+// multicast stamps the outgoing packet under the lock and returns the view
+// snapshot to fan it out to; the caller performs the sends after release.
+// In the token protocol a member without the token parks the data packet in
+// the outbox and what goes on the wire now is the token request instead.
+func (m *Member) multicast(body any, size int) ([]string, *packet, error) {
 	if !m.view.Contains(m.id) {
-		return ErrNotMember
+		return nil, nil, ErrNotMember
 	}
 	pkt := &packet{Kind: kData, From: m.id, ViewID: m.view.ID, Body: body, Size: size}
 	switch m.ordering {
@@ -294,21 +301,32 @@ func (m *Member) multicast(body any, size int) error {
 		pkt.MsgID = msgID{Origin: m.id, N: m.msgCounter}
 		if !m.hasToken {
 			m.outbox = append(m.outbox, pkt)
-			return m.requestToken()
+			req := &packet{Kind: kTokenReq, From: m.id, ViewID: m.view.ID}
+			return m.viewTargets(), req, nil
 		}
 		pkt.GlobalSeq = m.seqNext
 		m.seqNext++
 	}
-	return m.sendToView(pkt)
+	return m.viewTargets(), pkt, nil
 }
 
-// sendToView is best-effort: every view member is attempted even when some
+// viewTargets snapshots the current view's membership. Fan-outs send to a
+// snapshot taken under the lock, never to m.view directly: the sends run
+// after release, where a concurrent view installation could otherwise race.
+func (m *Member) viewTargets() []string {
+	return append([]string(nil), m.view.Members...)
+}
+
+// sendToAll fans pkt out to targets. It must be called without m.mu held —
+// a Send can block over a real transport, and a member that sends while
+// locked can deadlock with a peer doing the same (cscwlint's lock-send rule
+// enforces this). Best-effort: every target is attempted even when some
 // sends fail (partial failure must not silence members listed after the
 // first unreachable one — self-delivery in particular is unrepairable).
 // The first error is reported after all attempts.
-func (m *Member) sendToView(pkt *packet) error {
+func (m *Member) sendToAll(targets []string, pkt *packet) error {
 	var first error
-	for _, id := range m.view.Members {
+	for _, id := range targets {
 		if err := m.ep.Send(id, pkt, pkt.Size+64); err != nil && first == nil {
 			first = fmt.Errorf("multicast to %s: %w", id, err)
 		}
@@ -316,9 +334,24 @@ func (m *Member) sendToView(pkt *packet) error {
 	return first
 }
 
-func (m *Member) requestToken() error {
-	req := &packet{Kind: kTokenReq, From: m.id, ViewID: m.view.ID}
-	return m.sendToView(req)
+// queueSendToView schedules a fire-and-forget fan-out of pkt to the current
+// view on the callback queue: targets are snapshotted now, under the lock,
+// and the sends run once m.mu is released, in queue order (which preserves
+// their order relative to queued deliveries). Receive-path protocol sends
+// use this; a loss surfaces as stalled delivery, repaired by NACK/SyncPoint
+// or measured by the experiments.
+func (m *Member) queueSendToView(pkt *packet) {
+	targets := m.viewTargets()
+	m.cbs = append(m.cbs, func() {
+		for _, id := range targets {
+			_ = m.ep.Send(id, pkt, pkt.Size+64)
+		}
+	})
+}
+
+// queueSend schedules one fire-and-forget send the same way.
+func (m *Member) queueSend(to string, pkt *packet, size int) {
+	m.cbs = append(m.cbs, func() { _ = m.ep.Send(to, pkt, size) })
 }
 
 // Receive ingests a packet from the endpoint. NewMember wires the
@@ -375,12 +408,10 @@ func (m *Member) receiveData(pkt *packet) {
 				order := &packet{Kind: kOrder, From: m.id, ViewID: m.view.ID, MsgID: pkt.MsgID, GlobalSeq: m.seqNext}
 				m.seqOf[pkt.MsgID] = m.seqNext
 				m.seqNext++
-				if err := m.sendToView(order); err != nil {
-					// Ordering announcements ride reliable sim links; a
-					// failure here means a partition, surfaced by stalled
-					// delivery which the experiments measure.
-					_ = err
-				}
+				// Ordering announcements ride reliable sim links; a loss
+				// means a partition, surfaced by stalled delivery which the
+				// experiments measure.
+				m.queueSendToView(order)
 			}
 		}
 		m.pendingMsg[pkt.MsgID] = pkt
@@ -460,9 +491,8 @@ func (m *Member) maybeNack(sender string) {
 	}
 	m.nacked[sender] = target
 	nack := &packet{Kind: kNack, From: m.id, ViewID: m.view.ID, NackFrom: next, NackTo: target}
-	if err := m.ep.Send(sender, nack, 64); err != nil {
-		_ = err // a lost NACK is re-armed by the next out-of-order arrival
-	}
+	// A lost NACK is re-armed by the next out-of-order arrival.
+	m.queueSend(sender, nack, 64)
 }
 
 // SyncPoint advertises this member's FIFO send high-water mark to the view,
@@ -471,12 +501,14 @@ func (m *Member) maybeNack(sender string) {
 // the failure detector's heartbeat interval is a natural carrier.
 func (m *Member) SyncPoint() error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.ordering != FIFO || !m.view.Contains(m.id) {
+		m.mu.Unlock()
 		return nil
 	}
 	pkt := &packet{Kind: kSync, From: m.id, ViewID: m.view.ID, SenderSeq: m.fifoSent}
-	return m.sendToView(pkt)
+	targets := m.viewTargets()
+	m.runCallbacks() // releases m.mu: sends must not run under the lock
+	return m.sendToAll(targets, pkt)
 }
 
 func (m *Member) receiveSync(pkt *packet) {
@@ -525,9 +557,7 @@ func (m *Member) receiveNack(pkt *packet) {
 			continue // aged out of the retention window
 		}
 		m.Retransmissions++
-		if err := m.ep.Send(pkt.From, p, p.Size+64); err != nil {
-			_ = err
-		}
+		m.queueSend(pkt.From, p, p.Size+64)
 	}
 }
 
@@ -626,9 +656,9 @@ func (m *Member) drainOutbox() {
 	for _, pkt := range m.outbox {
 		pkt.GlobalSeq = m.seqNext
 		m.seqNext++
-		if err := m.sendToView(pkt); err != nil {
-			_ = err // see receiveData: stalls surface in measurements
-		}
+		// See receiveData: a lost send stalls delivery, which measurements
+		// surface.
+		m.queueSendToView(pkt)
 	}
 	m.outbox = nil
 }
@@ -640,9 +670,7 @@ func (m *Member) maybePassToken() {
 	next := m.tokenWait[0]
 	m.hasToken = false
 	tok := &packet{Kind: kToken, From: m.id, ViewID: m.view.ID, Body: next, GlobalSeq: m.seqNext}
-	if err := m.sendToView(tok); err != nil {
-		_ = err
-	}
+	m.queueSendToView(tok)
 }
 
 // Handle registers an RPC handler for op.
@@ -707,9 +735,9 @@ func (m *Member) Call(op string, body any, opts CallOpts, done func([]Reply, err
 		})
 	}
 	req := &packet{Kind: kRPCReq, From: m.id, ViewID: m.view.ID, CallID: id, Op: op, Body: body, Size: opts.Size}
-	err := m.sendToView(req)
-	m.runCallbacks()
-	return err
+	targets := m.viewTargets()
+	m.runCallbacks() // releases m.mu: the fan-out below must not run under it
+	return m.sendToAll(targets, req)
 }
 
 func (m *Member) receiveRPCRequest(pkt *packet) {

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreKey identifies a (file, line, rule) suppression site.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+// ignoreSet records where //lint:ignore directives apply. A directive
+// suppresses diagnostics of its rule on its own line and on the next line
+// (the usual placement is a comment line directly above the statement).
+type ignoreSet map[ignoreKey]bool
+
+func (s ignoreSet) covers(d Diagnostic) bool {
+	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
+		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+}
+
+// collectIgnores scans a package's comments for //lint:ignore directives.
+// Malformed directives — a missing reason, or an unknown rule name — are
+// themselves reported as lint-directive diagnostics so a typo cannot
+// silently disable a gate.
+func collectIgnores(p *Package, rules map[string]bool) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "lint-directive",
+						Message: "malformed //lint:ignore: need a rule name and a reason " +
+							"(//lint:ignore <rule> <reason>)",
+					})
+					continue
+				}
+				rule := fields[0]
+				if !rules[rule] {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Rule:    "lint-directive",
+						Message: "//lint:ignore names unknown rule " + rule,
+					})
+					continue
+				}
+				set[ignoreKey{pos.Filename, pos.Line, rule}] = true
+			}
+		}
+	}
+	return set, bad
+}

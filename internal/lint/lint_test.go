@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Fixture packages under testdata/src, each loaded under an assumed import
+// path so the path-scoped rules see what they would in the real tree. Every
+// analyzer has both failing fixtures (annotated with // want) and passing
+// ones (idioms the rules must accept).
+var fixtures = []struct {
+	dir  string
+	path string
+}{
+	{"det", "repro/internal/fixture/det"},
+	{"locks", "repro/internal/fixture/locks"},
+	{"errs", "repro/internal/fixture/errs"},
+	{"layer", "repro/internal/collab"},
+	{"layer_ok", "repro/internal/fabric"},
+	{"ignore", "repro/internal/fixture/ignore"},
+	{"scope", "repro/examples/fixturescope"},
+}
+
+func TestFixtures(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", fx.dir)
+			p, err := l.LoadDir(dir, fx.path)
+			if err != nil {
+				t.Fatalf("load %s as %s: %v", dir, fx.path, err)
+			}
+			checkWants(t, dir, Check([]*Package{p}))
+		})
+	}
+}
+
+// TestRepoIsClean is the gate the Makefile relies on: the repository itself
+// must lint clean. A regression here usually means a satellite fix was
+// reverted (a reintroduced time.Now, a send crept back under a lock).
+func TestRepoIsClean(t *testing.T) {
+	diags, err := CheckModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// --- // want annotation driver ------------------------------------------
+
+// A want annotation expects a diagnostic on its own line whose
+// "[rule] message" rendering matches the quoted regexp:
+//
+//	time.Now() // want "det-time"
+//
+// An optional offset targets a neighboring line, for lines whose own text
+// cannot carry a comment (e.g. malformed //lint:ignore directives, where a
+// trailing comment would change the directive's field count):
+//
+//	// want(-1) "lint-directive"
+var (
+	wantRe    = regexp.MustCompile(`//\s*want(?:\((-?\d+)\))?\s+(.+)$`)
+	wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			offset := 0
+			if m[1] != "" {
+				offset, _ = strconv.Atoi(m[1])
+			}
+			args := wantArgRe.FindAllString(m[2], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want annotation without a quoted pattern", e.Name(), i+1)
+			}
+			for _, q := range args {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", e.Name(), i+1, q, err)
+				}
+				wants = append(wants, &want{
+					file: e.Name(),
+					line: i + 1 + offset,
+					re:   regexp.MustCompile(pat),
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches diagnostics against annotations one-to-one: every
+// diagnostic must be expected, every expectation must fire.
+func checkWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		rendered := fmt.Sprintf("[%s] %s", d.Rule, d.Message)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(rendered) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

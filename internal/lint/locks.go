@@ -1,0 +1,407 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSend flags blocking operations — fabric/transport sends, channel
+// sends and receives, time.Sleep, WaitGroup/Cond waits, default-less
+// selects — performed while a sync.Mutex or RWMutex is held. Over the TCP
+// transport a Send is a socket write that blocks under backpressure;
+// holding a state mutex across it turns backpressure into a distributed
+// deadlock (A sends to B under A.mu, B's reply handler needs B.mu to send
+// back, both block). The repo-wide convention is prepare-under-lock /
+// send-outside (see group.Member.runCallbacks).
+//
+// The analysis is a per-function linear walk with a held-lock counter,
+// extended one level interprocedurally inside the package: a call to a
+// same-package function that (transitively) blocks is flagged when made
+// under a lock, and callee lock deltas are applied so helpers like
+// runCallbacks — which are called with the lock held and return with it
+// released — do not poison everything after them. Function literals are
+// separate units (their bodies run later, not on the locked path). The
+// walk is linear per function, so a branch that unlocks early can mask a
+// held lock on the fallthrough path: the analyzer prefers false negatives
+// to false positives.
+func LockSend() *Analyzer {
+	return &Analyzer{
+		Name: "lock-send",
+		Doc:  "no blocking call (Send, channel op, sleep, wait) while a mutex is held",
+		Run: func(p *Package) []Diagnostic {
+			if !inLockScope(p.Path) {
+				return nil
+			}
+			a := &lockAnalysis{p: p, decls: make(map[types.Object]*ast.FuncDecl), summaries: make(map[types.Object]*funcSummary)}
+			a.collect()
+			a.fixpoint()
+			return a.flag()
+		},
+	}
+}
+
+// blockDesc describes the first blocking operation found in a function.
+type funcSummary struct {
+	blockDesc string // "" if the function cannot block
+	delta     int    // net locks acquired minus released (incl. callees)
+	deltaSet  bool
+}
+
+type lockAnalysis struct {
+	p         *Package
+	decls     map[types.Object]*ast.FuncDecl
+	summaries map[types.Object]*funcSummary
+}
+
+func (a *lockAnalysis) collect() {
+	for _, f := range a.p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := a.p.Info.Defs[fd.Name]; obj != nil {
+				a.decls[obj] = fd
+			}
+		}
+	}
+}
+
+// fixpoint computes, for every declared function, whether it may block and
+// its net lock delta, propagating through same-package static calls.
+func (a *lockAnalysis) fixpoint() {
+	// Seed with direct facts, then iterate until stable (cycles settle
+	// because blockDesc only ever flips "" -> set and deltas are recomputed
+	// from a monotone base a bounded number of rounds).
+	for obj, fd := range a.decls {
+		s := &funcSummary{}
+		s.blockDesc, _ = a.firstDirectBlock(fd.Body)
+		a.summaries[obj] = s
+	}
+	for round := 0; round < 10; round++ {
+		changed := false
+		for obj, fd := range a.decls {
+			s := a.summaries[obj]
+			if s.blockDesc == "" {
+				if desc := a.firstCalleeBlock(fd.Body); desc != "" {
+					s.blockDesc = desc
+					changed = true
+				}
+			}
+			d := a.simulateDelta(fd.Body)
+			if !s.deltaSet || s.delta != d {
+				s.delta, s.deltaSet = d, true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// walkUnit visits the nodes of one function body in source order, skipping
+// nested function literals, defer statements and go statements (none of
+// which execute on the current locked path).
+func walkUnit(body *ast.BlockStmt, visit func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// firstDirectBlock finds the first directly blocking operation in a unit.
+func (a *lockAnalysis) firstDirectBlock(body *ast.BlockStmt) (desc string, pos token.Pos) {
+	walkUnit(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			desc, pos = "a channel send", n.Pos()
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				desc, pos = "a channel receive", n.Pos()
+				return false
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				desc, pos = "a select with no default", n.Pos()
+			}
+			return false // comm clauses are the select's own business
+		case *ast.CallExpr:
+			if d := a.blockingCall(n); d != "" {
+				desc, pos = d, n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return desc, pos
+}
+
+// firstCalleeBlock finds the first call to a same-package function whose
+// summary says it may block.
+func (a *lockAnalysis) firstCalleeBlock(body *ast.BlockStmt) string {
+	var desc string
+	walkUnit(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := a.callee(call); obj != nil {
+			if s := a.summaries[obj]; s != nil && s.blockDesc != "" {
+				desc = s.blockDesc // propagate the leaf operation
+				return false
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// simulateDelta runs the linear lock counter over a unit, applying callee
+// deltas (clamped at zero: a callee cannot release locks the caller never
+// took), and returns the net delta.
+func (a *lockAnalysis) simulateDelta(body *ast.BlockStmt) int {
+	n := 0
+	walkUnit(body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, _ := a.mutexOp(call); kind != 0 {
+			n += kind
+			return true
+		}
+		if obj := a.callee(call); obj != nil {
+			if s := a.summaries[obj]; s != nil && s.deltaSet && s.delta < 0 {
+				if n += s.delta; n < 0 {
+					n = 0
+				}
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// flag reports blocking operations performed while the linear walk says a
+// mutex is held.
+func (a *lockAnalysis) flag() []Diagnostic {
+	var out []Diagnostic
+	for _, f := range a.p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Every function literal is its own unit with a fresh counter.
+			units := []*ast.BlockStmt{fd.Body}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					units = append(units, fl.Body)
+				}
+				return true
+			})
+			for _, u := range units {
+				out = append(out, a.flagUnit(u)...)
+			}
+		}
+	}
+	return out
+}
+
+func (a *lockAnalysis) flagUnit(body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	var held []string // stack of mutex exprs currently held
+	report := func(n ast.Node, what string) {
+		out = append(out, Diagnostic{
+			Pos:  a.p.position(n),
+			Rule: "lock-send",
+			Message: what + " while " + held[len(held)-1] +
+				" is held; release the lock first (prepare under lock, send outside)",
+		})
+	}
+	pop := func(k int) {
+		for ; k > 0 && len(held) > 0; k-- {
+			held = held[:len(held)-1]
+		}
+	}
+	walkUnit(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				report(n, "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				report(n, "channel receive")
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(n) {
+				report(n, "select with no default")
+			}
+			return false
+		case *ast.CallExpr:
+			if kind, mu := a.mutexOp(n); kind != 0 {
+				if kind > 0 {
+					held = append(held, mu)
+				} else {
+					pop(1)
+				}
+				return true
+			}
+			if desc := a.blockingCall(n); desc != "" {
+				if len(held) > 0 {
+					report(n, desc)
+				}
+				return true
+			}
+			if obj := a.callee(n); obj != nil {
+				if s := a.summaries[obj]; s != nil {
+					if len(held) > 0 && s.blockDesc != "" {
+						report(n, "call to "+obj.Name()+" (which performs "+s.blockDesc+")")
+					}
+					if s.deltaSet && s.delta < 0 {
+						pop(-s.delta)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp classifies a call as +1 (Lock/RLock), -1 (Unlock/RUnlock) or 0 on
+// a sync.Mutex/sync.RWMutex receiver, returning the receiver expression.
+func (a *lockAnalysis) mutexOp(call *ast.CallExpr) (int, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, ""
+	}
+	var kind int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = 1
+	case "Unlock", "RUnlock":
+		kind = -1
+	default:
+		return 0, ""
+	}
+	s := a.p.Info.Selections[sel]
+	if s == nil || !isMutexType(s.Recv()) {
+		return 0, ""
+	}
+	return kind, types.ExprString(sel.X)
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// blockingCall classifies a call expression as directly blocking: any
+// method named Send (fabric endpoints, netsim nodes, transports — sends
+// block under TCP backpressure), time.Sleep, and WaitGroup/Cond waits.
+func (a *lockAnalysis) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if name, ok := pkgFuncCall(a.p, call, "time"); ok {
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Send":
+		// Only method calls count; a package-level Send would have been
+		// caught above as a package function (none exist in-module).
+		if _, isPkg := a.p.Info.Uses[identOf(sel.X)].(*types.PkgName); isPkg {
+			return ""
+		}
+		return "a Send"
+	case "Wait":
+		if s := a.p.Info.Selections[sel]; s != nil && isSyncWaiter(s.Recv()) {
+			return "a " + typeShort(s.Recv()) + ".Wait"
+		}
+	}
+	return ""
+}
+
+func isSyncWaiter(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "WaitGroup" || named.Obj().Name() == "Cond"
+}
+
+func typeShort(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// callee resolves a call to a function declared in this package.
+func (a *lockAnalysis) callee(call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := a.p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if _, ok := a.decls[obj]; !ok {
+		return nil
+	}
+	return obj
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+// Package det exercises the determinism rules (det-time, det-rand,
+// det-maporder). Loaded by lint_test.go under a trace-critical path.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badTime() time.Duration {
+	t := time.Now()      // want "det-time"
+	return time.Since(t) // want "det-time"
+}
+
+func badRand() int {
+	return rand.Intn(6) // want "det-rand"
+}
+
+// okRand uses the constructors, which stay legal: they are how injected
+// generators get made.
+func okRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// okClock takes the injected-clock shape the rules push code toward.
+func okClock(clock func() time.Duration) time.Duration { return clock() }
+
+func badMapPrint(m map[string]int) {
+	for k := range m { // want "det-maporder.*Println"
+		fmt.Println(k)
+	}
+}
+
+func badMapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "det-maporder.*appends to out"
+		out = append(out, k)
+	}
+	return out
+}
+
+func badMapConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "det-maporder.*concatenates onto s"
+		s += k
+	}
+	return s
+}
+
+func badMapSend(m map[string]int, ch chan string) {
+	for k := range m { // want "det-maporder.*sends on a channel"
+		ch <- k
+	}
+}
+
+// okMapSorted is the blessed collect-then-sort idiom: the append inside the
+// loop is order-insensitive because the slice is sorted before use.
+func okMapSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// okMapCount has no order-sensitive effect in the body at all.
+func okMapCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,28 @@
+// Package errs exercises the err-drop rule.
+package errs
+
+type conn struct{}
+
+func (conn) Send(to string, body any, size int) error { return nil }
+func (conn) Close() error                             { return nil }
+
+func Marshal(v any) ([]byte, error) { return nil, nil }
+
+// Handle returns nothing, so a bare call is fine even though the name is on
+// the watched list.
+func Handle(op string, fn func()) {}
+
+func bad(c conn) {
+	c.Send("a", nil, 0) // want "err-drop.*Send"
+	Marshal(1)          // want "err-drop.*Marshal"
+}
+
+func ok(c conn) error {
+	_ = c.Send("a", nil, 0) // explicit discard is the legal best-effort form
+	if _, err := Marshal(1); err != nil {
+		return err
+	}
+	Handle("op", func() {})
+	_ = c.Close() // Close is not watched, but discard it explicitly anyway
+	return nil
+}

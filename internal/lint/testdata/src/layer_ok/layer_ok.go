@@ -1,0 +1,9 @@
+// Package layerok holds the same imports as the layer fixture but is loaded
+// as repro/internal/fabric, which every allowlist admits: no diagnostics.
+package layerok
+
+import (
+	_ "net"
+	_ "repro/internal/netsim"
+	_ "repro/internal/transport"
+)

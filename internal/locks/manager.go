@@ -130,8 +130,15 @@ func compatible(a, b Mode) bool { return a == Shared && b == Shared }
 func (m *Manager) conflictsFor(n *node, who string, mode Mode) []*nodeHolder {
 	var out []*nodeHolder
 	add := func(x *node) {
-		for _, h := range x.holders {
-			if h.who != who && !compatible(mode, h.mode) {
+		// Sorted holder order: the conflict list drives wound/wait and
+		// tickle decisions, so its order must not depend on map iteration.
+		whos := make([]string, 0, len(x.holders))
+		for w := range x.holders {
+			whos = append(whos, w)
+		}
+		sort.Strings(whos)
+		for _, w := range whos {
+			if h := x.holders[w]; h.who != who && !compatible(mode, h.mode) {
 				out = append(out, &nodeHolder{node: x, holding: h})
 			}
 		}

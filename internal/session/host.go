@@ -254,30 +254,30 @@ func (h *Host) onPoll(m MsgPoll) {
 // with stale state — the seamless transition.
 func (h *Host) SetMode(mode Mode) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if mode == h.mode {
+		h.mu.Unlock()
 		return
 	}
 	h.mode = mode
 	h.stats.ModeSwitches++
 	h.fanout(&MsgMode{Mode: mode}, "")
-	if mode != Synchronous {
-		return
-	}
-	for _, id := range h.members() {
-		p := h.parts[id]
-		if p.presence != Active {
-			continue
-		}
-		missed := withoutFrom(h.itemsAfter(p.acked), id)
-		if len(missed) == 0 {
+	if mode == Synchronous {
+		for _, id := range h.members() {
+			p := h.parts[id]
+			if p.presence != Active {
+				continue
+			}
+			missed := withoutFrom(h.itemsAfter(p.acked), id)
+			if len(missed) == 0 {
+				p.acked = h.seq
+				continue
+			}
+			h.stats.FlushServes += len(missed)
 			p.acked = h.seq
-			continue
+			h.send(id, &MsgItems{Items: missed}, len(missed)*32+64)
 		}
-		h.stats.FlushServes += len(missed)
-		p.acked = h.seq
-		h.send(id, &MsgItems{Items: missed}, len(missed)*32+64)
 	}
+	h.runCallbacks()
 }
 
 func (h *Host) itemsAfter(since uint64) []Item {
@@ -316,8 +316,15 @@ func (h *Host) fanout(payload any, except string) {
 	}
 }
 
+// send queues a delivery on the callback queue, so the actual endpoint
+// Send runs after h.mu is released (a Send can block over a real
+// transport; holding the lock across it invites distributed deadlock —
+// cscwlint's lock-send rule enforces the discipline). Queued sends flush
+// in order, preserving the per-peer FIFO the clients rely on.
 func (h *Host) send(to string, payload any, size int) {
-	// Transient send failures (partitions, disconnected mobiles) surface as
-	// missed pushes; the poll path recovers them, so drop silently here.
-	_ = h.ep.Send(to, payload, size)
+	h.cbs = append(h.cbs, func() {
+		// Transient send failures (partitions, disconnected mobiles) surface
+		// as missed pushes; the poll path recovers them, so drop silently.
+		_ = h.ep.Send(to, payload, size)
+	})
 }

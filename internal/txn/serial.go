@@ -2,6 +2,7 @@ package txn
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/locks"
@@ -257,8 +258,16 @@ func (m *Manager) CheckTimeouts(now time.Duration) []*Txn {
 	if m.timeout <= 0 {
 		return nil
 	}
+	// Sorted id order: abort order feeds undo application and the event
+	// trace, so it must not depend on map iteration.
+	ids := make([]string, 0, len(m.active))
+	for id := range m.active {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var out []*Txn
-	for _, t := range m.active {
+	for _, id := range ids {
+		t := m.active[id]
 		if t.state == TxnBlocked && now-t.blockedAt >= m.timeout {
 			out = append(out, t)
 		}
