@@ -8,16 +8,16 @@
 //	cscwctl -user alice [-host 127.0.0.1:7480]
 //	cscwctl chaos -list
 //	cscwctl chaos -scenario <name> [-seed <n>] [-v]
-//	cscwctl lint [dir]
+//	cscwctl lint [-format=text|json|sarif|github] [-baseline=file] [dir] [pkgfilter]
 //
 // The chaos subcommand runs one deterministic fault scenario from
 // internal/chaos and exits non-zero if any invariant is violated; -v prints
 // the full event trace. The same seed always reproduces the same trace.
 //
-// The lint subcommand runs the static-analysis suite (internal/lint, same
-// engine as cmd/cscwlint) over the module containing dir (default ".").
-// Both subcommands share the exit-code contract: 0 clean, 1 violation,
-// 2 usage/load error.
+// The lint subcommand runs the static-analysis suite (internal/lint, the
+// same front-end as cmd/cscwlint, flag for flag) over the module containing
+// dir (default "."). Both subcommands share the exit-code contract:
+// 0 clean, 1 violation, 2 usage/load error.
 //
 // Stdin commands (session client):
 //
@@ -56,35 +56,12 @@ func main() {
 	}
 }
 
-// runLint runs the static-analysis suite, reporting via the same exit codes
-// as runChaos: 0 clean, 1 at least one violation, 2 usage or load error.
+// runLint runs the static-analysis suite through the same front-end as
+// cmd/cscwlint (flag-for-flag parity: -rules, -format, -baseline, [dir]
+// [pkgfilter]) and the same exit codes as runChaos: 0 clean, 1 at least
+// one violation, 2 usage or load error.
 func runLint(args []string) int {
-	fs := flag.NewFlagSet("cscwctl lint", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	dir := "."
-	switch rest := fs.Args(); len(rest) {
-	case 0:
-	case 1:
-		dir = rest[0]
-	default:
-		fmt.Fprintln(os.Stderr, "cscwctl lint: at most one directory argument")
-		return 2
-	}
-	diags, err := lint.CheckModule(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cscwctl lint: %v\n", err)
-		return 2
-	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cscwctl lint: %d violation(s)\n", len(diags))
-		return 1
-	}
-	return 0
+	return lint.CLIMain("cscwctl lint", args, os.Stdout, os.Stderr)
 }
 
 // runChaos executes one chaos scenario and reports via the exit code:

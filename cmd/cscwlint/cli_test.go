@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// These tests exercise the shared CLI front-end (lint.CLIMain, also behind
+// `cscwctl lint`) against the tiny deliberately-dirty module in
+// testdata/broken, so each run loads two packages instead of the whole
+// repository.
+
+// runCLI invokes the front-end capturing both streams.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = lint.CLIMain("cscwlint", args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFormatJSON(t *testing.T) {
+	code, stdout, _ := runCLI("-format=json", "testdata/broken")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.File != "internal/clockbad/clockbad.go" {
+		t.Errorf("file = %q, want module-relative internal/clockbad/clockbad.go", f.File)
+	}
+	if f.Rule != "det-time" || f.Line == 0 || f.Message == "" {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestFormatSARIF(t *testing.T) {
+	code, stdout, _ := runCLI("-format=sarif", "testdata/broken")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	// Decode into the exact shape GitHub code scanning reads; unknown or
+	// missing fields here would make the upload step reject the log.
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q, want 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "cscwlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "det-time" || res.Level != "error" || res.Message.Text == "" {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if !ruleIDs[res.RuleID] {
+		t.Errorf("result rule %q missing from driver rule metadata", res.RuleID)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/clockbad/clockbad.go" || loc.Region.StartLine == 0 {
+		t.Errorf("unexpected location: %+v", loc)
+	}
+}
+
+func TestFormatGitHub(t *testing.T) {
+	code, stdout, _ := runCLI("-format=github", "testdata/broken")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.HasPrefix(stdout, "::error file=internal/clockbad/clockbad.go,line=") {
+		t.Errorf("not a workflow-command annotation: %q", stdout)
+	}
+	if !strings.Contains(stdout, "::[det-time] ") {
+		t.Errorf("annotation message missing rule tag: %q", stdout)
+	}
+}
+
+func TestFormatUnknown(t *testing.T) {
+	code, _, stderr := runCLI("-format=yaml", "testdata/broken")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown format") {
+		t.Errorf("stderr = %q, want unknown-format error", stderr)
+	}
+}
+
+func TestBaselineSuppresses(t *testing.T) {
+	// A baseline entry matches on file, rule and message — not line — so
+	// the finding stays suppressed when unrelated edits move it around.
+	bl := filepath.Join(t.TempDir(), "lint.baseline")
+	entry := "internal/clockbad/clockbad.go: [det-time] time.Now reads the wall clock in a trace-critical package; inject a clock (func() time.Duration) instead\n"
+	if err := os.WriteFile(bl, []byte("# accepted debt\n"+entry), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI("-baseline="+bl, "testdata/broken")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("stdout = %q, want empty (finding baselined)", stdout)
+	}
+	if !strings.Contains(stderr, "baselined") {
+		t.Errorf("stderr = %q, want baselined note", stderr)
+	}
+}
+
+func TestBaselineStaleEntryStillFails(t *testing.T) {
+	bl := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(bl, []byte("internal/other.go: [det-time] something else\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI("-baseline="+bl, "testdata/broken"); code != 1 {
+		t.Fatalf("exit = %d, want 1 (baseline must not blanket-suppress)", code)
+	}
+}
+
+func TestPackageFilter(t *testing.T) {
+	if code, stdout, _ := runCLI("testdata/broken", "clockbad"); code != 1 || !strings.Contains(stdout, "det-time") {
+		t.Errorf("matching filter: exit %d, stdout %q; want 1 with det-time", code, stdout)
+	}
+	code, _, stderr := runCLI("testdata/broken", "nosuchpackage")
+	if code != 2 {
+		t.Errorf("unmatched filter: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no loaded package matches") {
+		t.Errorf("stderr = %q, want unmatched-filter error", stderr)
+	}
+}

@@ -1,24 +1,33 @@
 // Command cscwlint runs the project's static-analysis suite (internal/lint)
 // over the module containing the working directory (or the directory given
-// as the sole argument) and prints one diagnostic per line:
+// as the first argument) and prints one diagnostic per line:
 //
 //	file:line:col: [rule] message
+//
+// Usage:
+//
+//	cscwlint [-rules] [-format=text|json|sarif|github] [-baseline=file] [dir] [pkgfilter]
+//
+// A positional argument that is not a directory is a package-path filter
+// (substring of an import path, e.g. "internal/group"); reporting is
+// restricted to matching packages while the whole module is still loaded,
+// since the interprocedural analyzers need every call summary. Findings
+// listed in the module's lint.baseline are suppressed (see README).
 //
 // Exit codes, shared with `cscwctl lint` and `cscwctl chaos`:
 //
 //	0  no violations
-//	1  at least one violation
+//	1  at least one live violation
 //	2  usage, load or type-check error
 //
 // The rules — determinism (det-time, det-rand, det-maporder), layering
-// (layer-net, layer-transport, layer-netsim), lock hygiene (lock-send) and
-// error discipline (err-drop) — are documented in DESIGN.md ("Enforced
+// (layer-net, layer-transport, layer-netsim), lock hygiene (lock-send,
+// lock-order), lifecycle (life-leak), guarded-field inference (guard-infer)
+// and error discipline (err-drop) — are documented in DESIGN.md ("Enforced
 // invariants"), together with the //lint:ignore suppression policy.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
 	"repro/internal/lint"
@@ -29,37 +38,5 @@ func main() {
 }
 
 func run(args []string) int {
-	fs := flag.NewFlagSet("cscwlint", flag.ContinueOnError)
-	rules := fs.Bool("rules", false, "list the rules and exit")
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	if *rules {
-		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-38s %s\n", a.Name, a.Doc)
-		}
-		return 0
-	}
-	dir := "."
-	switch rest := fs.Args(); len(rest) {
-	case 0:
-	case 1:
-		dir = rest[0]
-	default:
-		fmt.Fprintln(os.Stderr, "cscwlint: at most one directory argument")
-		return 2
-	}
-	diags, err := lint.CheckModule(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cscwlint: %v\n", err)
-		return 2
-	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cscwlint: %d violation(s)\n", len(diags))
-		return 1
-	}
-	return 0
+	return lint.CLIMain("cscwlint", args, os.Stdout, os.Stderr)
 }

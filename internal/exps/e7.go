@@ -74,7 +74,7 @@ func runLossyFIFO(seed int64) (delivered, retrans int) {
 		sim.At(time.Duration(i)*100*time.Millisecond+50*time.Millisecond, mb.RequestRepair)
 	}
 	sim.Run()
-	return delivered, ma.Retransmissions
+	return delivered, ma.RetransmissionCount()
 }
 
 func runMulticast(seed int64, n int, ord group.Ordering) (mean, p95 time.Duration, delivered int) {

@@ -47,8 +47,9 @@ type Member struct {
 	sentBuf map[uint64]*packet
 	nacked  map[string]uint64
 	knownHi map[string]uint64 // per-sender advertised high-water (tail-loss detection)
-	// Retransmissions counts repairs served to other members.
-	Retransmissions int
+	// retransmissions counts repairs served to other members (see
+	// RetransmissionCount).
+	retransmissions int
 
 	// Causal state.
 	vc         vclock.VC
@@ -192,6 +193,14 @@ func (m *Member) Delivered() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.delivered
+}
+
+// RetransmissionCount returns the number of repairs served to other
+// members.
+func (m *Member) RetransmissionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retransmissions
 }
 
 // Ordering returns the configured delivery ordering.
@@ -556,7 +565,7 @@ func (m *Member) receiveNack(pkt *packet) {
 		if !ok {
 			continue // aged out of the retention window
 		}
-		m.Retransmissions++
+		m.retransmissions++
 		m.queueSend(pkt.From, p, p.Size+64)
 	}
 }

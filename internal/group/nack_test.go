@@ -65,8 +65,8 @@ func TestNackRecoversSingleLoss(t *testing.T) {
 			t.Fatalf("order = %v", got)
 		}
 	}
-	if r.members["m00"].Retransmissions != 1 {
-		t.Errorf("retransmissions = %d", r.members["m00"].Retransmissions)
+	if r.members["m00"].RetransmissionCount() != 1 {
+		t.Errorf("retransmissions = %d", r.members["m00"].RetransmissionCount())
 	}
 }
 
@@ -96,7 +96,7 @@ func TestNackUnderRandomLossWithRepairTimer(t *testing.T) {
 			t.Fatalf("FIFO violated at %d: %v", i, got[i])
 		}
 	}
-	if r.members["m00"].Retransmissions == 0 {
+	if r.members["m00"].RetransmissionCount() == 0 {
 		t.Error("no retransmissions on a 25% lossy link?")
 	}
 }
@@ -152,8 +152,8 @@ func TestSyncPointRecoversTailLoss(t *testing.T) {
 	if len(got) != 2 || got[1] != "last" {
 		t.Fatalf("after sync point: %v", got)
 	}
-	if r.members["m00"].Retransmissions != 1 {
-		t.Errorf("retransmissions = %d", r.members["m00"].Retransmissions)
+	if r.members["m00"].RetransmissionCount() != 1 {
+		t.Errorf("retransmissions = %d", r.members["m00"].RetransmissionCount())
 	}
 }
 
@@ -165,7 +165,7 @@ func TestSyncPointNoopWhenCaughtUp(t *testing.T) {
 	r.members["m00"].SyncPoint()
 	r.sim.Run()
 	// The sync point itself travels, but no NACK or retransmission follows.
-	if r.members["m00"].Retransmissions != 0 {
+	if r.members["m00"].RetransmissionCount() != 0 {
 		t.Error("caught-up receiver triggered retransmission")
 	}
 	sent2, _ := r.sim.Stats()

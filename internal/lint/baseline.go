@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BaselineFile is the checked-in baseline's name, looked up at the module
+// root by CheckModule. A baseline lets a new analyzer land before every
+// violation it finds is burned down: known findings move into the file,
+// the gate stays green, and any *new* finding still fails the build.
+const BaselineFile = "lint.baseline"
+
+// Baseline is a set of accepted findings. Entries are keyed by
+// module-relative file, rule and message — deliberately not by line, so
+// unrelated edits above a baselined finding do not churn the file.
+type Baseline struct {
+	keys map[string]bool
+}
+
+// baselineKey renders a diagnostic the way baseline files store it.
+func baselineKey(relFile, rule, message string) string {
+	return fmt.Sprintf("%s: [%s] %s", relFile, rule, message)
+}
+
+// LoadBaseline reads a baseline file: one finding per line in the form
+//
+//	internal/foo/bar.go: [rule] message
+//
+// Blank lines and #-comments are skipped. A missing file is an empty
+// baseline, so a repo without one behaves as before.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{keys: make(map[string]bool)}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.keys[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Filter splits diagnostics into the ones the baseline does not cover (the
+// live findings) and the covered count. root relativizes filenames.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (live []Diagnostic, baselined int) {
+	if len(b.keys) == 0 {
+		return diags, 0
+	}
+	for _, d := range diags {
+		if b.keys[baselineKey(relPath(root, d.Pos.Filename), d.Rule, d.Message)] {
+			baselined++
+			continue
+		}
+		live = append(live, d)
+	}
+	return live, baselined
+}
+
+// Render writes diagnostics in baseline-file form, ready to append to
+// lint.baseline (the workflow README documents).
+func (b *Baseline) Render(root string, diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(baselineKey(relPath(root, d.Pos.Filename), d.Rule, d.Message))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// relPath renders file module-root-relative with forward slashes; files
+// outside the root keep their absolute path.
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,39 @@
+package lint
+
+import "testing"
+
+// The Makefile's `make lint` gate must stay interactive (< 10s wall on the
+// CI runners). Loading and type-checking the module dominates; the analysis
+// passes themselves are benchmarked separately so a regression in either
+// half is attributable.
+
+// BenchmarkCheckModule times one full CLI-equivalent run: load, type-check,
+// every per-package and interprocedural analyzer.
+func BenchmarkCheckModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		diags, err := CheckModule(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repo not clean: %v", diags[0])
+		}
+	}
+}
+
+// BenchmarkAnalyzers times the analysis passes alone, over an
+// already-loaded module.
+func BenchmarkAnalyzers(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Check(pkgs)
+	}
+}

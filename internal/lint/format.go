@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Output formats shared by cmd/cscwlint and `cscwctl lint`:
+//
+//	text    file:line:col: [rule] message (the default)
+//	json    a flat array of finding objects, for scripting
+//	sarif   SARIF 2.1.0, the shape GitHub code scanning ingests
+//	github  GitHub Actions workflow commands (::error …), which render as
+//	        inline annotations without needing code-scanning upload
+//
+// File paths in json/sarif/github output are module-root-relative, which is
+// what both SARIF artifactLocation URIs and Actions annotations expect.
+
+// WriteText prints diagnostics one per line.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// WriteJSON prints diagnostics as a JSON array.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteGitHub prints diagnostics as GitHub Actions error annotations.
+func WriteGitHub(w io.Writer, root string, diags []Diagnostic) {
+	for _, d := range diags {
+		// Workflow-command syntax: properties are comma-separated, the
+		// message follows ::. Newlines in messages must be %0A-escaped.
+		msg := strings.ReplaceAll(fmt.Sprintf("[%s] %s", d.Rule, d.Message), "\n", "%0A")
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s\n",
+			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, msg)
+	}
+}
+
+// --- SARIF 2.1.0 ---------------------------------------------------------
+
+// The minimal subset of the SARIF 2.1.0 object model GitHub code scanning
+// consumes: one run, a tool driver with rule metadata, and one result per
+// finding with a physical location.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ruleDocs maps every rule name to its one-line doc, for SARIF metadata.
+func ruleDocs() map[string]string {
+	docs := map[string]string{
+		"lint-directive": "//lint:ignore directives must name a known rule and give a reason",
+	}
+	for _, a := range Analyzers() {
+		for _, r := range strings.Split(a.Name, ",") {
+			docs[strings.TrimSpace(r)] = a.Doc
+		}
+	}
+	for _, a := range ModuleAnalyzers() {
+		docs[a.Name] = a.Doc
+	}
+	return docs
+}
+
+// WriteSARIF prints diagnostics as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic) error {
+	docs := ruleDocs()
+	var ids []string
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]sarifRule, 0, len(ids))
+	for _, id := range ids {
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifText{Text: docs[id]}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cscwlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

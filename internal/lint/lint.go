@@ -84,18 +84,27 @@ func Rules() map[string]bool {
 			m[strings.TrimSpace(r)] = true
 		}
 	}
+	for _, a := range ModuleAnalyzers() {
+		m[a.Name] = true
+	}
 	return m
 }
 
 // Check runs every analyzer over the packages and returns the surviving
 // (non-suppressed) diagnostics sorted by position, plus any malformed
-// suppression directives as lint-directive diagnostics.
+// suppression directives as lint-directive diagnostics. The per-package
+// analyzers see one package at a time; the interprocedural suite runs once
+// over the whole set through the Module view.
 func Check(pkgs []*Package) []Diagnostic {
 	var out []Diagnostic
 	rules := Rules()
+	allIgnores := make(ignoreSet)
 	for _, p := range pkgs {
 		ignores, bad := collectIgnores(p, rules)
 		out = append(out, bad...)
+		for k := range ignores {
+			allIgnores[k] = true
+		}
 		for _, a := range Analyzers() {
 			for _, d := range a.Run(p) {
 				if ignores.covers(d) {
@@ -103,6 +112,15 @@ func Check(pkgs []*Package) []Diagnostic {
 				}
 				out = append(out, d)
 			}
+		}
+	}
+	mod := NewModule(pkgs)
+	for _, a := range ModuleAnalyzers() {
+		for _, d := range a.Run(mod) {
+			if allIgnores.covers(d) {
+				continue
+			}
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -119,21 +137,6 @@ func Check(pkgs []*Package) []Diagnostic {
 		return a.Rule < b.Rule
 	})
 	return out
-}
-
-// CheckModule loads every package under the module rooted at or above dir
-// and runs the suite. The error covers load/parse/type failures (exit 2
-// territory for the CLIs); diagnostics are the lint findings (exit 1).
-func CheckModule(dir string) ([]Diagnostic, error) {
-	l, err := NewLoader(dir)
-	if err != nil {
-		return nil, err
-	}
-	pkgs, err := l.LoadModule()
-	if err != nil {
-		return nil, err
-	}
-	return Check(pkgs), nil
 }
 
 // --- shared scoping helpers ---------------------------------------------

@@ -25,15 +25,23 @@ var fixtures = []struct {
 	{"layer_ok", "repro/internal/fabric"},
 	{"ignore", "repro/internal/fixture/ignore"},
 	{"scope", "repro/examples/fixturescope"},
+	{"lockorder", "repro/internal/fixture/lockorder"},
+	{"lifeleak", "repro/internal/transport"},
+	{"guard", "repro/internal/fixture/guard"},
+	{"lockedge", "repro/internal/fixture/lockedge"},
 }
 
 func TestFixtures(t *testing.T) {
-	l, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
 	for _, fx := range fixtures {
 		t.Run(fx.dir, func(t *testing.T) {
+			// A fresh loader per fixture: packages memoize by import path, and
+			// a fixture loaded under a real package's path (lifeleak assumes
+			// the transport's) must not collide with the real package pulled
+			// in by another fixture's imports.
+			l, err := NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
 			dir := filepath.Join("testdata", "src", fx.dir)
 			p, err := l.LoadDir(dir, fx.path)
 			if err != nil {

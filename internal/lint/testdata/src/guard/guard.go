@@ -1,0 +1,93 @@
+// Package guard exercises guard-infer: a field written at least once under
+// its struct's own mutex is inferred guarded, and every access without the
+// lock is a race candidate. Loaded by lint_test.go under a path in module
+// scope.
+package guard
+
+import "sync"
+
+type counter struct {
+	mu  sync.Mutex
+	n   int
+	hot int
+}
+
+// inc establishes the guard: n and hot are written under counter.mu.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.hot++
+	c.mu.Unlock()
+}
+
+func (c *counter) badRead() int {
+	return c.n // want "guard-infer.*counter.n.*read here"
+}
+
+func (c *counter) badWrite() {
+	c.hot = 0 // want "guard-infer.*counter.hot.*written here"
+}
+
+func (c *counter) goodRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bump is only ever called with c.mu held, so its accesses inherit the
+// lock through the entry-context fixpoint.
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) incViaHelper() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// Constructors touch owner-local instances: nothing shares them yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// rwbox distinguishes read and write flavors: reads are fine under RLock,
+// writes need the exclusive lock.
+type rwbox struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (b *rwbox) set(v int) {
+	b.mu.Lock()
+	b.v = v
+	b.mu.Unlock()
+}
+
+func (b *rwbox) get() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func (b *rwbox) badReadNoLock() int {
+	return b.v // want "guard-infer.*rwbox.v.*read here"
+}
+
+func (b *rwbox) badWriteUnderRLock(v int) {
+	b.mu.RLock()
+	b.v = v // want "guard-infer.*rwbox.v.*written here"
+	b.mu.RUnlock()
+}
+
+// plain has no mutex of its own: its fields are outside this rule's reach
+// even when some caller guards them with another struct's lock.
+type plain struct {
+	v int
+}
+
+func (p *plain) set(v int) {
+	p.v = v
+}

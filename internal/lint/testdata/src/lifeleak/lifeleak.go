@@ -1,0 +1,182 @@
+// Package lifeleak exercises the life-leak analyzer: goroutines need join
+// evidence, and tracked resources (listeners, conns, tickers, timers,
+// endpoint-like values) must reach a Close/Stop. Loaded by lint_test.go
+// under the transport's import path, since layer-net reserves the net
+// package for the transport and the fabric.
+package lifeleak
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// --- goroutines ----------------------------------------------------------
+
+func spawnLeak() {
+	go work() // want "life-leak.*no join evidence"
+}
+
+func spawnLeakClosure() {
+	go func() { // want "life-leak.*no join evidence"
+		work()
+	}()
+}
+
+type pool struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// Add before launch is join evidence: the owner can Wait.
+func (p *pool) startCounted() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+// A spawned body that closes an owned done-channel is joinable too.
+func (p *pool) startSignalled() {
+	go func() {
+		defer close(p.done)
+		work()
+	}()
+}
+
+// The evidence may sit in a named callee rather than a literal.
+func (p *pool) run() {
+	defer p.wg.Done()
+	work()
+}
+
+func (p *pool) startNamed() {
+	go p.run()
+}
+
+// --- net resources -------------------------------------------------------
+
+func dialLeak() {
+	c, err := net.Dial("tcp", "localhost:1") // want "life-leak.*connection.*never reaches a Close/Stop"
+	if err != nil {
+		return
+	}
+	_ = c.RemoteAddr()
+}
+
+func dialClosed() {
+	c, err := net.Dial("tcp", "localhost:1")
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	_ = c.RemoteAddr()
+}
+
+func listenReturned() (net.Listener, error) {
+	return net.Listen("tcp", ":0") // returned directly: the caller owns it
+}
+
+func listenPassedOn() error {
+	l, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return err
+	}
+	serve(l) // handed to a callee: ownership transfers
+	return nil
+}
+
+func serve(l net.Listener) { _ = l.Close() }
+
+// server releases its listener field in Close, so storing into it
+// discharges the obligation (the per-type must-release summary).
+type server struct {
+	l net.Listener
+}
+
+func (s *server) Close() { _ = s.l.Close() }
+
+func openServer() *server {
+	l, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return nil
+	}
+	s := &server{}
+	s.l = l
+	return s
+}
+
+// holder never releases its field: storing there is still a leak.
+type holder struct {
+	l net.Listener
+}
+
+func openHolder() *holder {
+	l, err := net.Listen("tcp", ":0") // want "life-leak.*stored in transport.holder.l.*ever calls Close/Stop"
+	if err != nil {
+		return nil
+	}
+	return &holder{l: l}
+}
+
+// --- tickers and timers --------------------------------------------------
+
+func tickLeak() {
+	t := time.NewTicker(time.Second) // want "life-leak.*ticker.*never reaches a Close/Stop"
+	<-t.C
+}
+
+func tickDiscard() {
+	time.NewTicker(time.Second) // want "life-leak.*ticker.*discarded"
+}
+
+func tickStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func timerLeak() {
+	t := time.NewTimer(time.Second) // want "life-leak.*timer.*never reaches a Close/Stop"
+	<-t.C
+}
+
+// AfterFunc is exempt: a one-shot that discharges itself by firing.
+func afterOK() {
+	time.AfterFunc(time.Second, work)
+}
+
+// --- endpoint-like values ------------------------------------------------
+
+// EP has the endpoint shape (Close + SetHandler), so constructor results
+// carry a release obligation.
+type EP struct {
+	done chan struct{}
+}
+
+func NewEP() *EP { return &EP{done: make(chan struct{})} }
+
+func (e *EP) Close() error {
+	close(e.done)
+	return nil
+}
+
+func (e *EP) SetHandler(h func()) {}
+
+func epLeak() {
+	ep := NewEP() // want "life-leak.*endpoint.*never reaches a Close/Stop"
+	ep.SetHandler(work)
+}
+
+func epClosed() {
+	ep := NewEP()
+	ep.SetHandler(work)
+	_ = ep.Close()
+}
+
+func epReturned() *EP {
+	return NewEP()
+}

@@ -1,0 +1,100 @@
+// Package lockorder exercises the lock-order analyzer: cycles in the
+// module-wide lock-acquisition graph, reported with the full chain.
+// Loaded by lint_test.go under a path in module scope.
+package lockorder
+
+import "sync"
+
+// A and B acquire each other's locks in opposite orders — the classic
+// two-lock deadlock.
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+func (a *A) one() {
+	a.mu.Lock()
+	a.b.mu.Lock() // want "lock-order.*potential deadlock.*lockorder.A.mu → lockorder.B.mu → lockorder.A.mu.*while lockorder.A.mu held.*while lockorder.B.mu held"
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (b *B) two() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// S nests two instances of its own class: a self-cycle, because sync.Mutex
+// is not reentrant and nothing orders instances globally.
+type S struct {
+	mu   sync.Mutex
+	next *S
+}
+
+func (s *S) nest() {
+	s.mu.Lock()
+	s.next.mu.Lock() // want "lock-order.*lockorder.S.mu → lockorder.S.mu"
+	s.next.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// E and F form a cycle only through callees: the acquisitions are buried in
+// helpers and reach the graph via call summaries.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func lockE(e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Called lock-free as well, so the helpers' entry contexts stay empty and
+// the cycle is witnessed at the nested call sites below.
+func onlyE(e *E) { lockE(e) }
+func onlyF(f *F) { lockF(f) }
+
+func eThenF(e *E, f *F) {
+	e.mu.Lock()
+	lockF(f) // want "lock-order.*via lockF.*via lockE"
+	e.mu.Unlock()
+}
+
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	lockE(e)
+	f.mu.Unlock()
+}
+
+// C and D are always taken in the same order — a DAG, no report.
+type C struct {
+	mu sync.Mutex
+	d  *D
+}
+
+type D struct{ mu sync.Mutex }
+
+func (c *C) first() {
+	c.mu.Lock()
+	c.d.mu.Lock()
+	c.d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *C) second() {
+	c.mu.Lock()
+	c.d.mu.Lock()
+	c.d.mu.Unlock()
+	c.mu.Unlock()
+}

@@ -189,6 +189,13 @@ func (e *TCPEndpoint) Send(to string, data []byte) error {
 			return fmt.Errorf("dial %s (%s): %w", to, addr, err)
 		}
 		e.mu.Lock()
+		if e.closed {
+			// Close ran while we were dialing; it has already drained
+			// e.conns, so caching c now would leak the socket forever.
+			e.mu.Unlock()
+			c.Close()
+			return ErrClosed
+		}
 		if existing, race := e.conns[to]; race {
 			// Another goroutine connected first; use its connection.
 			e.mu.Unlock()

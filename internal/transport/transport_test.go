@@ -355,6 +355,45 @@ func TestTCPDialFailure(t *testing.T) {
 	}
 }
 
+func TestTCPSendRacingCloseLeaksNothing(t *testing.T) {
+	// Send drops e.mu while dialing, so Close can slip into that window and
+	// drain e.conns first. A Send that then cached its fresh socket would
+	// leak it forever (nothing ever closes entries added after the drain).
+	// The window is a few microseconds wide, so race Send against Close
+	// repeatedly and check the invariant after every round: a closed
+	// endpoint holds no cached connections.
+	book := NewAddressBook()
+	b, err := ListenTCP("b", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 50; i++ {
+		a, err := ListenTCP(fmt.Sprintf("a%d", i), "127.0.0.1:0", book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		sent := make(chan error, 1)
+		go func() {
+			<-start
+			sent <- a.Send("b", []byte("x"))
+		}()
+		close(start)
+		a.Close()
+		if err := <-sent; err != nil && !errors.Is(err, ErrClosed) {
+			// Losing the race to Close is fine; any other failure is not.
+			t.Fatalf("round %d: Send = %v", i, err)
+		}
+		a.mu.Lock()
+		cached := len(a.conns)
+		a.mu.Unlock()
+		if cached != 0 {
+			t.Fatalf("round %d: %d connection(s) cached on a closed endpoint", i, cached)
+		}
+	}
+}
+
 func TestTCPSendAfterPeerRestart(t *testing.T) {
 	book := NewAddressBook()
 	a, err := ListenTCP("a", "127.0.0.1:0", book)
