@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all check build vet lint test race bench chaos experiments examples cover
+.PHONY: all check build vet lint test race bench bench-json chaos experiments examples cover
 
 all: check
 
@@ -31,8 +31,16 @@ test:
 race:
 	go test -race ./...
 
+# Benchmarks. PKG narrows the sweep: `make bench PKG=./internal/bench`.
 bench:
-	go test -run XXXNONE -bench=. -benchmem ./...
+	go test -run XXXNONE -bench=. -benchmem $(if $(PKG),$(PKG),./...)
+
+# Regenerate the checked-in benchmark baseline (EXPERIMENTS.md explains the
+# fields). The date is computed here because cscwbench itself never reads
+# the wall clock.
+BENCH_DATE := $(shell date +%F)
+bench-json:
+	go run ./cmd/cscwbench -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json
 
 # Short-mode chaos matrix under the race detector, over a fixed seed set.
 # Any violation prints the seed and a one-command replay.

@@ -7,11 +7,15 @@ package repro
 //
 //	go test -bench=. -benchmem
 import (
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/exps"
 	"repro/internal/fabric"
 	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/transport"
 )
 
 func benchExperiment(b *testing.B, run func(seed int64) exps.Table) {
@@ -104,4 +108,38 @@ func BenchmarkFabricSendRecv(b *testing.B) {
 			}
 		})
 	})
+	// Over the byte-oriented hub the codec is in the path; json vs binary
+	// isolates the envelope cost (allocs/op is the figure to watch — the
+	// binary frame exists to cut it).
+	hubRun := func(b *testing.B, codec fabric.PayloadCodec) {
+		hub := transport.NewHub()
+		src := fabric.FromTransport(hub.MustAttach("a"), codec)
+		dst := fabric.FromTransport(hub.MustAttach("b"), codec)
+		var recv atomic.Uint64
+		dst.SetHandler(func(from string, payload any, size int) { recv.Add(1) })
+		payload := &session.MsgPost{Doc: "doc-7", From: "a", Kind: "edit", Body: "the quick brown fox"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := src.Send("b", payload, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for recv.Load() < uint64(b.N) {
+			time.Sleep(20 * time.Microsecond)
+		}
+		b.StopTimer()
+		_ = src.Close()
+		_ = dst.Close()
+		if d := src.Dropped() + dst.Dropped(); d != 0 {
+			b.Fatalf("%d frames dropped", d)
+		}
+	}
+	newReg := func() *fabric.Codec {
+		reg := session.NewWireCodec()
+		fabric.RegisterBase(reg)
+		return reg
+	}
+	b.Run("hub-json", func(b *testing.B) { hubRun(b, newReg()) })
+	b.Run("hub-binary", func(b *testing.B) { hubRun(b, fabric.NewBinaryCodec(newReg())) })
 }

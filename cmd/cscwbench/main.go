@@ -1,0 +1,156 @@
+// Command cscwbench runs the benchmark baseline (internal/bench) and
+// writes a cscw-bench/v1 JSON report. The checked-in BENCH_<date>.json
+// files are produced by `make bench-json`, which invokes:
+//
+//	cscwbench -date $(date +%F) -out BENCH_$(date +%F).json
+//
+// The date arrives as a flag because this command, like every other
+// trace-critical package, never reads the wall clock (cscwlint det-time);
+// throughput numbers come from real execution, latency percentiles from
+// the deterministic virtual-time profiles.
+//
+// Flags:
+//
+//	-date YYYY-MM-DD  report date stamp (required)
+//	-out FILE         output path (default stdout)
+//	-seed N           simulator seed (default 1)
+//	-quick            skip the slower scenarios and shrink latency samples
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/fabric"
+	"repro/internal/group"
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cscwbench", flag.ContinueOnError)
+	date := fs.String("date", "", "report date stamp, e.g. 2026-08-08 (required)")
+	out := fs.String("out", "", "output file (default stdout)")
+	seed := fs.Int64("seed", 1, "simulator seed")
+	quick := fs.Bool("quick", false, "skip slower scenarios, shrink latency samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *date == "" {
+		return errors.New("cscwbench: -date is required (pass $(date +%F); this command never reads the wall clock)")
+	}
+
+	rep := bench.NewReport(*date, *seed)
+	add := func(name string, fn func(*testing.B)) {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+		res := rep.Add(name, 1, fn)
+		fmt.Fprintf(os.Stderr, "  %d iters, %.0f ns/op, %.0f msgs/sec, %.0f allocs/op\n",
+			res.Iters, res.NsPerOp, res.MsgsPerSec, res.AllocsPerOp)
+	}
+
+	seq := bench.MulticastOptions{Members: 8, Ordering: group.TotalSequencer, Seed: *seed}
+	seqBatched := seq
+	seqBatched.Batch = group.BatchConfig{MaxMsgs: 32}
+	add("multicast_seq8_unbatched", bench.MulticastBench(seq))
+	add("multicast_seq8_batched", bench.MulticastBench(seqBatched))
+	if !*quick {
+		tok := bench.MulticastOptions{Members: 8, Ordering: group.TotalToken, Seed: *seed}
+		tokBatched := tok
+		tokBatched.Batch = group.BatchConfig{MaxMsgs: 32}
+		add("multicast_token8_unbatched", bench.MulticastBench(tok))
+		add("multicast_token8_batched", bench.MulticastBench(tokBatched))
+	}
+	add("ot_roundtrip_c4", bench.OTBench(4))
+	add("session_post_sync", bench.SessionPostBench(*seed))
+
+	reg := session.NewWireCodec()
+	fabric.RegisterBase(reg)
+	payload := &session.MsgItems{Doc: "doc-7", Items: []session.Item{
+		{Seq: 42, From: "alice", Kind: "edit", Body: "insert the quick brown fox", At: 1234567},
+	}}
+	add("codec_json_roundtrip", bench.CodecRoundTripBench(reg, payload))
+	add("codec_binary_roundtrip", bench.CodecRoundTripBench(fabric.NewBinaryCodec(reg), payload))
+	if !*quick {
+		add("fabric_hub_send_recv_json", hubSendRecv(reg))
+		add("fabric_hub_send_recv_binary", hubSendRecv(fabric.NewBinaryCodec(reg)))
+	}
+
+	// Virtual-time latency profiles for the ordering hot path: batching
+	// trades window latency for throughput; the report carries both sides.
+	samples := 256
+	if *quick {
+		samples = 32
+	}
+	seqWindow := seqBatched
+	seqWindow.Batch.Window = time.Millisecond
+	fmt.Fprintln(os.Stderr, "latency profiles...")
+	if err := rep.Attach("multicast_seq8_unbatched", bench.MulticastLatencies(seq, samples)); err != nil {
+		return err
+	}
+	if err := rep.Attach("multicast_seq8_batched", bench.MulticastLatencies(seqWindow, samples)); err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *out, len(rep.Results))
+	}
+	return nil
+}
+
+// hubSendRecv prices one message through the full byte-transport path: a
+// typed payload enveloped by the codec, carried over the in-memory hub,
+// decoded and delivered on the far side. The codec is the only variable
+// between the json and binary runs.
+func hubSendRecv(codec fabric.PayloadCodec) func(b *testing.B) {
+	return func(b *testing.B) {
+		hub := transport.NewHub()
+		src := fabric.FromTransport(hub.MustAttach("a"), codec)
+		dst := fabric.FromTransport(hub.MustAttach("b"), codec)
+		var recv atomic.Uint64
+		dst.SetHandler(func(from string, payload any, size int) { recv.Add(1) })
+		payload := &session.MsgPost{Doc: "doc-7", From: "a", Kind: "edit", Body: "the quick brown fox"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := src.Send("b", payload, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Hub delivery drains on a goroutine; wait for the last frame.
+		for recv.Load() < uint64(b.N) {
+			time.Sleep(20 * time.Microsecond)
+		}
+		b.StopTimer()
+		_ = src.Close()
+		_ = dst.Close()
+		if d := src.Dropped() + dst.Dropped(); d != 0 {
+			b.Fatalf("%d frames dropped", d)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cscwctl -user alice [-host 127.0.0.1:7480]
+//	cscwctl -user alice [-host 127.0.0.1:7480] [-doc name] [-codec json|binary]
 //	cscwctl chaos -list
 //	cscwctl chaos -scenario <name> [-seed <n>] [-v]
 //	cscwctl lint [-format=text|json|sarif|github] [-baseline=file] [dir] [pkgfilter]
@@ -110,6 +110,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cscwctl", flag.ContinueOnError)
 	user := fs.String("user", "", "participant name (required)")
 	hostAddr := fs.String("host", "127.0.0.1:7480", "sessiond address")
+	doc := fs.String("doc", "", "document (session) to join; empty joins the unnamed session")
+	codecFlag := fs.String("codec", "json", "wire codec: json or binary (match sessiond)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,12 +126,20 @@ func run(args []string) error {
 		return err
 	}
 
-	codec := session.NewWireCodec()
-	fabric.RegisterBase(codec)
+	reg := session.NewWireCodec()
+	fabric.RegisterBase(reg)
+	var codec fabric.PayloadCodec = reg
+	switch *codecFlag {
+	case "json":
+	case "binary":
+		codec = fabric.NewBinaryCodec(reg)
+	default:
+		return fmt.Errorf("cscwctl: unknown codec %q (json or binary)", *codecFlag)
+	}
 	ep := fabric.FromTransport(tep, codec)
 	defer ep.Close()
 
-	cli := session.NewClient(ep, "host")
+	cli := session.NewClientForDoc(ep, "host", *doc)
 	cli.OnItem = func(it session.Item) {
 		fmt.Printf("[#%d %s] %s: %s\n", it.Seq, it.Kind, it.From, it.Body)
 	}

@@ -6,11 +6,19 @@
 // Usage:
 //
 //	sessiond [-listen 127.0.0.1:7480] [-mode sync|async] [-v]
+//	         [-codec json|binary] [-shards N -shard K]
 //
-// Protocol: length-prefixed frames (internal/transport) carrying JSON
-// envelopes (internal/fabric codec, internal/session wire tags). A client's
-// first frame is a fabric.Hello carrying its dialable address so the host
-// can push back to it; a Tap middleware feeds those into the address book.
+// Protocol: length-prefixed frames (internal/transport) carrying either
+// JSON envelopes or binary frames (-codec, internal/fabric) with the
+// session wire tags. A client's first frame is a fabric.Hello carrying its
+// dialable address so the host can push back to it; a Tap middleware feeds
+// those into the address book.
+//
+// The daemon serves every document (session key) by default. In a sharded
+// deployment, run one daemon per ordering domain with the same -shards
+// count and distinct -shard indices: each serves only the documents the
+// deterministic router places on its domain and drops (and counts) the
+// rest, so no document's log can fork across daemons.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/fabric"
+	"repro/internal/route"
 	"repro/internal/session"
 	"repro/internal/transport"
 )
@@ -35,12 +44,18 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7480", "listen address")
 	modeFlag := fs.String("mode", "sync", "session mode: sync or async")
 	verbose := fs.Bool("v", false, "log every frame sent and received")
+	codecFlag := fs.String("codec", "json", "wire codec: json or binary")
+	shards := fs.Int("shards", 1, "ordering domains documents are routed across")
+	shard := fs.Int("shard", 0, "domain this daemon serves (0-based, < shards)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mode := session.Synchronous
 	if *modeFlag == "async" {
 		mode = session.Asynchronous
+	}
+	if *shard < 0 || *shard >= *shards {
+		return fmt.Errorf("sessiond: -shard %d outside [0,%d)", *shard, *shards)
 	}
 
 	book := transport.NewAddressBook()
@@ -49,8 +64,16 @@ func run(args []string) error {
 		return err
 	}
 
-	codec := session.NewWireCodec()
-	fabric.RegisterBase(codec)
+	reg := session.NewWireCodec()
+	fabric.RegisterBase(reg)
+	var codec fabric.PayloadCodec = reg
+	switch *codecFlag {
+	case "json":
+	case "binary":
+		codec = fabric.NewBinaryCodec(reg)
+	default:
+		return fmt.Errorf("sessiond: unknown codec %q (json or binary)", *codecFlag)
+	}
 
 	// Middleware stack: hello interception (address-book registration) and,
 	// with -v, a trace of every frame.
@@ -68,13 +91,26 @@ func run(args []string) error {
 	ep := fabric.Wrap(fabric.FromTransport(tep, codec), mws...)
 	defer ep.Close()
 
-	// fabric.WallClock is the declared real-time boundary; the host itself
-	// never reads the wall clock (cscwlint det-time enforces this).
-	host := session.NewHost(ep, mode, fabric.WallClock())
-	host.OnItem = func(it session.Item) {
-		log.Printf("item #%d from %s (%s): %s", it.Seq, it.From, it.Kind, it.Body)
+	// Sharded deployments confine this daemon to its own ordering domain;
+	// one daemon with -shards 1 owns everything (owns == nil).
+	var owns func(doc string) bool
+	if *shards > 1 {
+		router := route.New(*shards)
+		mine := *shard
+		owns = func(doc string) bool { return router.Shard(doc) == mine }
 	}
 
-	fmt.Printf("sessiond listening on %s (%s mode)\n", tep.Addr(), mode)
+	// fabric.WallClock is the declared real-time boundary; the host itself
+	// never reads the wall clock (cscwlint det-time enforces this).
+	host := session.NewMultiHost(ep, mode, fabric.WallClock(), owns)
+	host.OnItem = func(doc string, it session.Item) {
+		if doc == "" {
+			doc = "(unnamed)"
+		}
+		log.Printf("item %s#%d from %s (%s): %s", doc, it.Seq, it.From, it.Kind, it.Body)
+	}
+
+	fmt.Printf("sessiond listening on %s (%s mode, %s codec, domain %s of %d)\n",
+		tep.Addr(), mode, *codecFlag, route.DomainName(*shard), *shards)
 	select {} // serve until killed
 }

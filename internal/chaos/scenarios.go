@@ -51,6 +51,13 @@ func init() {
 		Run:       runReorderTotalOrder,
 	})
 	register(Scenario{
+		Name:      "reorder-loss-batched-order",
+		Desc:      "batched sequencer total order over reordering links, with one member's inbound links turning lossy mid-run",
+		Invariant: "unaffected members deliver the complete gapless sequence, the lossy member a gapless agreeing prefix, batches stay contiguous, and every dropped frame is accounted",
+		Challenge: "scalability: amortising the ordering round trip with batches must not weaken the ordering guarantee (paper §5.3)",
+		Run:       runReorderLossBatchedOrder,
+	})
+	register(Scenario{
 		Name:      "stall-causal-group",
 		Desc:      "causal multicast with question/answer chains while one member's handler stalls on every delivery",
 		Invariant: "cause precedes effect at every member even when delivery into the application is slow",
@@ -467,6 +474,164 @@ func runReorderTotalOrder(w *World) {
 			break
 		}
 	}
+}
+
+// --- scenario: reorder-loss-batched-order -------------------------------
+
+// runReorderLossBatchedOrder drives the batched ordering hot path through
+// an adversarial network. Four members multicast in bursts sized to the
+// batch limit, so every burst travels as exactly one kBatch packet and the
+// sequencer announces each batch with a single contiguous kOrder run. The
+// links reorder aggressively the whole time; mid-run, every link INTO bo3
+// turns lossy, then heals. Loss toward one receiver cannot disturb the
+// others — they must still deliver the complete gapless global sequence —
+// while bo3, which has no repair protocol for total-order data, may stall
+// but must never diverge: its deliveries form a gapless prefix of the
+// common sequence. Batches must occupy contiguous runs of that sequence at
+// every member, and the world's drop accounting must absorb the link loss.
+func runReorderLossBatchedOrder(w *World) {
+	ids := []string{"bo1", "bo2", "bo3", "bo4"} // bo1 is the sequencer
+	const lossy = "bo3"
+	const burstMsgs = 4 // == Batch.MaxMsgs: one burst flushes as one kBatch
+	link := netsim.Link{
+		Latency: time.Millisecond, Jitter: time.Millisecond,
+		Reorder: 0.35, ReorderDelay: 4 * time.Millisecond, Bandwidth: 1_250_000,
+	}
+	lossyLink := link
+	lossyLink.Loss = 0.4
+	for i, a := range ids {
+		w.Endpoint(a)
+		for _, b := range ids[i+1:] {
+			w.Endpoint(b)
+			w.Sim.SetBiLink(a, b, link)
+		}
+	}
+
+	type entry struct {
+		seq   uint64
+		event string // "seq:from:body" for prefix agreement
+		batch string // "from/wNN": the wire batch this delivery belongs to
+	}
+	deliv := make(map[string][]entry)
+	members := make(map[string]*group.Member)
+	for _, id := range ids {
+		id := id
+		m, err := group.NewMember(group.Config{
+			Endpoint: w.Endpoint(id),
+			Timer:    simTimer{w},
+			Ordering: group.TotalSequencer,
+			Batch:    group.BatchConfig{MaxMsgs: burstMsgs},
+			Deliver: func(d group.Delivery) {
+				body := fmt.Sprintf("%v", d.Body)
+				deliv[id] = append(deliv[id], entry{
+					seq:   d.Seq,
+					event: fmt.Sprintf("%03d:%s:%s", d.Seq, d.From, body),
+					batch: d.From + "/" + body[:3], // body is "wNN-mK"
+				})
+			},
+		})
+		if err != nil {
+			w.Violatef("setup", "member %s: %v", id, err)
+			return
+		}
+		members[id] = m
+	}
+	view := group.NewView(1, ids)
+	for _, id := range ids {
+		members[id].InstallView(view)
+	}
+
+	// Bursts before, during, and after the loss window. The tail burst is
+	// deliberately smaller than MaxMsgs so it only leaves the accumulation
+	// buffer when the scheduled Flush pushes it out.
+	bursts := []struct{ at, n int }{
+		{1, burstMsgs}, {5, burstMsgs}, {9, burstMsgs}, // pre-loss
+		{48, burstMsgs}, {52, burstMsgs}, {56, burstMsgs}, {60, burstMsgs}, // lossy
+		{80, burstMsgs}, {84, burstMsgs}, // healed
+		{88, burstMsgs / 2}, // tail: flushed manually below
+	}
+	total := 0
+	for bi, burst := range bursts {
+		bi, burst := bi, burst
+		total += burst.n * len(ids)
+		w.Sim.At(ms(burst.at), func() {
+			for _, id := range ids {
+				for i := 0; i < burst.n; i++ {
+					if err := members[id].Multicast(fmt.Sprintf("w%02d-m%d", bi, i), 24); err != nil {
+						w.Logf("multicast %s w%02d-m%d partial: %v", id, bi, i, err)
+					}
+				}
+			}
+		})
+	}
+	w.Sim.At(ms(45), func() {
+		for _, a := range ids {
+			if a != lossy {
+				w.Sim.SetLink(a, lossy, lossyLink)
+			}
+		}
+		w.Logf("links into %s turn lossy (%.0f%%)", lossy, lossyLink.Loss*100)
+	})
+	w.Sim.At(ms(70), func() {
+		for _, a := range ids {
+			if a != lossy {
+				w.Sim.SetLink(a, lossy, link)
+			}
+		}
+		w.Logf("links into %s healed", lossy)
+	})
+	w.Sim.At(ms(94), func() {
+		for _, id := range ids {
+			members[id].Flush()
+		}
+	})
+	w.Run()
+
+	// Reference sequence: the longest delivered log. Unaffected members
+	// must have everything; the lossy member a prefix.
+	ref := deliv[ids[0]]
+	for _, id := range ids[1:] {
+		if len(deliv[id]) > len(ref) {
+			ref = deliv[id]
+		}
+	}
+	if len(ref) != total {
+		w.Violatef("batched-order", "longest log has %d deliveries, want %d", len(ref), total)
+	}
+	for _, id := range ids {
+		log := deliv[id]
+		if id != lossy && len(log) != total {
+			w.Violatef("batched-order", "%s delivered %d of %d despite lossless links", id, len(log), total)
+		}
+		for i, e := range log {
+			if e.seq != uint64(i+1) {
+				w.Violatef("batched-order", "%s has a sequence gap at position %d: %q", id, i, e.event)
+				break
+			}
+			if e.event != ref[i].event {
+				w.Violatef("batched-order", "divergence at seq %d: %s saw %q, reference %q", i+1, id, e.event, ref[i].event)
+				break
+			}
+		}
+		// Batch contiguity: once the delivered sequence moves past a wire
+		// batch, that batch must never resume — the sequencer assigns each
+		// kBatch one contiguous run, and interleaving would mean it split.
+		seen := make(map[string]bool)
+		prev := ""
+		for _, e := range log {
+			if e.batch != prev {
+				if seen[e.batch] {
+					w.Violatef("batch-contiguity", "%s saw batch %s resume after interleaving (at %q)", id, e.batch, e.event)
+					break
+				}
+				seen[e.batch] = true
+				prev = e.batch
+			}
+		}
+	}
+	w.Logf("delivered: %s=%d %s=%d %s=%d %s=%d (total %d)",
+		ids[0], len(deliv[ids[0]]), ids[1], len(deliv[ids[1]]),
+		ids[2], len(deliv[ids[2]]), ids[3], len(deliv[ids[3]]), total)
 }
 
 // --- scenario: stall-causal-group ---------------------------------------

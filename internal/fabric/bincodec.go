@@ -1,0 +1,236 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+// BinaryCodec is the allocation-conscious alternative to the JSON envelope:
+// a length-prefixed binary frame instead of nested JSON documents. It
+// shares a registry with a JSON *Codec, so the same Register calls serve
+// both, and codecs are selected per endpoint (FromTransport takes either).
+//
+// Frame layout:
+//
+//	[0]  magic 0xC5
+//	[1]  version (1)
+//	[2]  body encoding: 0 = JSON body, 1 = binary body
+//	[3]  tag length (tags are short path-like strings, ≤255 bytes)
+//	[4:] tag, then a big-endian uint32 body length, then the body
+//
+// Payload types that implement BinaryAppender/BinaryParser get a
+// hand-rolled binary body (no reflection, no intermediate buffers);
+// everything else falls back to a JSON body inside the binary frame,
+// which still skips the outer envelope document and its RawMessage copy.
+//
+// Decode interoperates with JSON peers: a frame that does not start with
+// the magic byte is handed to the underlying JSON codec, so a
+// binary-selected endpoint can survive a mixed deployment while it rolls
+// out.
+type BinaryCodec struct {
+	reg *Codec
+}
+
+// NewBinaryCodec wraps a registry codec. Register payload types on reg;
+// both codecs then carry them.
+func NewBinaryCodec(reg *Codec) *BinaryCodec { return &BinaryCodec{reg: reg} }
+
+// BinaryAppender is implemented by payload types with a hand-rolled binary
+// body encoding. AppendBinary appends the encoded body to dst and returns
+// the extended slice (the append idiom: no intermediate allocation).
+type BinaryAppender interface {
+	AppendBinary(dst []byte) ([]byte, error)
+}
+
+// BinaryParser is the decode half of BinaryAppender. ParseBinary parses
+// an encoded body produced by AppendBinary into the receiver.
+type BinaryParser interface {
+	ParseBinary(data []byte) error
+}
+
+const (
+	binMagic   = 0xC5
+	binVersion = 1
+	bodyJSON   = 0
+	bodyBinary = 1
+)
+
+// MaxBinaryFrame bounds the declared body length a binary frame may carry;
+// larger declarations are rejected before any allocation happens, so a
+// corrupt or hostile length prefix cannot balloon memory.
+const MaxBinaryFrame = 16 << 20
+
+// Errors surfaced by binary frame parsing.
+var (
+	ErrTruncatedFrame = errors.New("fabric: truncated binary frame")
+	ErrOversizedFrame = errors.New("fabric: binary frame body length exceeds limit")
+)
+
+// Encode frames payload under its registered tag.
+func (c *BinaryCodec) Encode(payload any) ([]byte, error) {
+	t := reflect.TypeOf(payload)
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	c.reg.mu.RLock()
+	tag, ok := c.reg.byTyp[t]
+	c.reg.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: no tag registered for payload type %T", payload)
+	}
+	if len(tag) > 255 {
+		return nil, fmt.Errorf("fabric: tag %q too long for binary frame", tag)
+	}
+	dst := make([]byte, 0, 64+len(tag))
+	enc := byte(bodyJSON)
+	if _, ok := payload.(BinaryAppender); ok {
+		enc = bodyBinary
+	}
+	dst = append(dst, binMagic, binVersion, enc, byte(len(tag)))
+	dst = append(dst, tag...)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	if enc == bodyBinary {
+		var err error
+		dst, err = payload.(BinaryAppender).AppendBinary(dst)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: binary-encode %s body: %w", tag, err)
+		}
+	} else {
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: marshal %s body: %w", tag, err)
+		}
+		dst = append(dst, body...)
+	}
+	bodyLen := len(dst) - lenAt - 4
+	if bodyLen > MaxBinaryFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversizedFrame, bodyLen)
+	}
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(bodyLen))
+	return dst, nil
+}
+
+// Decode parses a frame into a pointer to the registered type for its tag.
+// Unknown tags return (nil, nil) so callers can skip foreign traffic, as
+// with the JSON codec; malformed frames (bad version, truncation, a length
+// prefix past the limit or disagreeing with the actual frame size) are
+// errors. Frames without the binary magic byte are delegated to the
+// underlying JSON codec.
+func (c *BinaryCodec) Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrTruncatedFrame)
+	}
+	if data[0] != binMagic {
+		return c.reg.Decode(data)
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %d-byte header", ErrTruncatedFrame, len(data))
+	}
+	if data[1] != binVersion {
+		return nil, fmt.Errorf("fabric: unknown binary frame version %d", data[1])
+	}
+	enc := data[2]
+	tagLen := int(data[3])
+	rest := data[4:]
+	if len(rest) < tagLen+4 {
+		return nil, fmt.Errorf("%w: header declares %d-byte tag, %d bytes remain", ErrTruncatedFrame, tagLen, len(rest))
+	}
+	tag := rest[:tagLen]
+	bodyLen := binary.BigEndian.Uint32(rest[tagLen : tagLen+4])
+	if bodyLen > MaxBinaryFrame {
+		return nil, fmt.Errorf("%w: declared %d bytes", ErrOversizedFrame, bodyLen)
+	}
+	body := rest[tagLen+4:]
+	if uint32(len(body)) < bodyLen {
+		return nil, fmt.Errorf("%w: declared %d-byte body, %d bytes remain", ErrTruncatedFrame, bodyLen, len(body))
+	}
+	if uint32(len(body)) > bodyLen {
+		return nil, fmt.Errorf("fabric: binary frame carries %d trailing bytes", uint32(len(body))-bodyLen)
+	}
+	c.reg.mu.RLock()
+	t, ok := c.reg.byTag[string(tag)]
+	c.reg.mu.RUnlock()
+	if !ok {
+		return nil, nil
+	}
+	out := reflect.New(t).Interface()
+	switch enc {
+	case bodyBinary:
+		bp, ok := out.(BinaryParser)
+		if !ok {
+			return nil, fmt.Errorf("fabric: binary body for %s but %T implements no BinaryParser", string(tag), out)
+		}
+		if err := bp.ParseBinary(body); err != nil {
+			return nil, fmt.Errorf("fabric: binary-decode %s body: %w", string(tag), err)
+		}
+	case bodyJSON:
+		if err := json.Unmarshal(body, out); err != nil {
+			return nil, fmt.Errorf("fabric: decode %s body: %w", string(tag), err)
+		}
+	default:
+		return nil, fmt.Errorf("fabric: unknown body encoding %d", enc)
+	}
+	return out, nil
+}
+
+// --- binary body building blocks ---------------------------------------
+//
+// Small append/consume helpers for hand-rolled binary bodies (uvarint
+// integers, length-prefixed strings). Session and friends build their
+// BinaryAppender/BinaryParser implementations from these.
+
+// AppendUvarint appends v as a varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendString appends s as a uvarint length prefix plus bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ConsumeUvarint reads a varint from data, returning the value and the
+// remaining bytes.
+func ConsumeUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrTruncatedFrame)
+	}
+	return v, data[n:], nil
+}
+
+// ConsumeString reads a length-prefixed string from data, returning the
+// string and the remaining bytes.
+func ConsumeString(data []byte) (string, []byte, error) {
+	n, rest, err := ConsumeUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("%w: string declares %d bytes, %d remain", ErrTruncatedFrame, n, len(rest))
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// AppendBinary implements BinaryAppender for the fabric Hello.
+func (h Hello) AppendBinary(dst []byte) ([]byte, error) {
+	return AppendString(dst, h.Addr), nil
+}
+
+// ParseBinary implements BinaryParser for the fabric Hello.
+func (h *Hello) ParseBinary(data []byte) error {
+	addr, rest, err := ConsumeString(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("fabric: hello body carries %d trailing bytes", len(rest))
+	}
+	h.Addr = addr
+	return nil
+}

@@ -1,0 +1,243 @@
+package fabric_test
+
+// Binary codec conformance: round-trip parity against the JSON codec for
+// every payload type registered anywhere in the repo (fabric, session,
+// mobile — the group packet, being unexported, has its parity test in
+// package group), plus the frame-level error paths: truncation at every
+// byte boundary, oversized length prefixes, trailing bytes, version
+// mismatches, unknown tags, and the JSON interop fallback.
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/mobile"
+	"repro/internal/session"
+)
+
+// fullRegistry returns a codec with every wire type in the repo registered
+// (except group's unexported packet), plus the binary codec sharing it.
+func fullRegistry() (*fabric.Codec, *fabric.BinaryCodec) {
+	reg := fabric.NewCodec()
+	fabric.RegisterBase(reg)
+	session.RegisterWire(reg)
+	mobile.RegisterWire(reg)
+	return reg, fabric.NewBinaryCodec(reg)
+}
+
+// registeredPayloads is one representative non-trivial instance per
+// registered wire type. Zero values ride along implicitly: the fuzz and
+// truncation tests below slice these frames every which way.
+func registeredPayloads() map[string]any {
+	items := []session.Item{
+		{Seq: 1, From: "alice", Kind: "edit", Body: "insert x", At: 5 * time.Millisecond},
+		{Seq: 2, From: "bob", Kind: "chat", Body: "howdy ☺", At: 7 * time.Millisecond},
+	}
+	return map[string]any{
+		"fabric/hello":     fabric.Hello{Addr: "127.0.0.1:9999"},
+		"session/join":     session.MsgJoin{From: "carol", Since: 41, State: session.Away},
+		"session/join-ack": session.MsgJoinAck{Mode: session.Asynchronous, Backlog: items, Members: []string{"alice", "bob"}},
+		"session/post":     session.MsgPost{From: "alice", Kind: "edit", Body: "delete y"},
+		"session/items":    session.MsgItems{Items: items},
+		"session/poll":     session.MsgPoll{From: "bob", Since: 2},
+		"session/mode":     session.MsgMode{Mode: session.Synchronous},
+		"session/presence": session.MsgPresence{From: "carol", State: session.Offline},
+		"session/leave":    session.MsgLeave{From: "bob"},
+		"mobile/traffic":   mobile.Traffic{Op: "fetch", Key: "doc/7", Bytes: 1024},
+	}
+}
+
+// TestBinaryRoundTripParity: for every registered payload type, the binary
+// codec round-trips to the same decoded value the JSON codec produces.
+func TestBinaryRoundTripParity(t *testing.T) {
+	reg, bin := fullRegistry()
+	for tag, payload := range registeredPayloads() {
+		bframe, err := bin.Encode(payload)
+		if err != nil {
+			t.Fatalf("%s: binary encode: %v", tag, err)
+		}
+		jframe, err := reg.Encode(payload)
+		if err != nil {
+			t.Fatalf("%s: json encode: %v", tag, err)
+		}
+		bdec, err := bin.Decode(bframe)
+		if err != nil {
+			t.Fatalf("%s: binary decode: %v", tag, err)
+		}
+		jdec, err := reg.Decode(jframe)
+		if err != nil {
+			t.Fatalf("%s: json decode: %v", tag, err)
+		}
+		if bdec == nil {
+			t.Fatalf("%s: binary decode returned nil for a registered tag", tag)
+		}
+		if !reflect.DeepEqual(bdec, jdec) {
+			t.Errorf("%s: binary round-trip %#v disagrees with json round-trip %#v", tag, bdec, jdec)
+		}
+	}
+}
+
+// TestBinaryJSONInterop: a binary-selected endpoint must still understand
+// plain JSON envelopes from unmigrated peers.
+func TestBinaryJSONInterop(t *testing.T) {
+	reg, bin := fullRegistry()
+	for tag, payload := range registeredPayloads() {
+		jframe, err := reg.Encode(payload)
+		if err != nil {
+			t.Fatalf("%s: json encode: %v", tag, err)
+		}
+		got, err := bin.Decode(jframe)
+		if err != nil {
+			t.Fatalf("%s: binary codec rejected json frame: %v", tag, err)
+		}
+		want, _ := reg.Decode(jframe)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: json frame via binary codec = %#v, want %#v", tag, got, want)
+		}
+	}
+}
+
+// TestBinaryUnknownTag: frames for unregistered tags are skipped (nil, nil),
+// matching the JSON codec's contract for foreign traffic.
+func TestBinaryUnknownTag(t *testing.T) {
+	full, fullBin := fullRegistry()
+	frame, err := fullBin.Encode(mobile.Traffic{Op: "read", Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := fabric.NewCodec()
+	fabric.RegisterBase(bare)
+	got, err := fabric.NewBinaryCodec(bare).Decode(frame)
+	if err != nil || got != nil {
+		t.Fatalf("unknown tag: got (%v, %v), want (nil, nil)", got, err)
+	}
+	_ = full
+}
+
+// TestBinaryTruncatedFrames: every proper prefix of a valid frame must fail
+// with ErrTruncatedFrame — no panics, no silent partial decodes.
+func TestBinaryTruncatedFrames(t *testing.T) {
+	_, bin := fullRegistry()
+	for tag, payload := range registeredPayloads() {
+		frame, err := bin.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(frame); n++ {
+			_, err := bin.Decode(frame[:n])
+			if !errors.Is(err, fabric.ErrTruncatedFrame) {
+				t.Fatalf("%s: prefix %d/%d bytes: got %v, want ErrTruncatedFrame", tag, n, len(frame), err)
+			}
+		}
+	}
+}
+
+// TestBinaryOversizedLength: a declared body length past MaxBinaryFrame is
+// rejected before any allocation, regardless of actual frame size.
+func TestBinaryOversizedLength(t *testing.T) {
+	_, bin := fullRegistry()
+	frame, err := bin.Encode(fabric.Hello{Addr: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The length prefix sits right after the 4-byte header and the tag.
+	tagLen := int(frame[3])
+	binary.BigEndian.PutUint32(frame[4+tagLen:], fabric.MaxBinaryFrame+1)
+	if _, err := bin.Decode(frame); !errors.Is(err, fabric.ErrOversizedFrame) {
+		t.Fatalf("got %v, want ErrOversizedFrame", err)
+	}
+}
+
+// TestBinaryTrailingBytes: extra bytes past the declared body are an error —
+// the frame is the whole datagram, so surplus means corruption.
+func TestBinaryTrailingBytes(t *testing.T) {
+	_, bin := fullRegistry()
+	frame, err := bin.Encode(session.MsgLeave{From: "zed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bin.Decode(append(frame, 0xEE)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestBinaryBadVersion pins the version gate.
+func TestBinaryBadVersion(t *testing.T) {
+	_, bin := fullRegistry()
+	frame, err := bin.Encode(fabric.Hello{Addr: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[1] = 99
+	if _, err := bin.Decode(frame); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+// TestHelloBinaryBody: Hello opts into the hand-rolled binary body; its
+// frame must not contain a JSON body, and trailing bytes inside the body
+// must be rejected by the parser.
+func TestHelloBinaryBody(t *testing.T) {
+	_, bin := fullRegistry()
+	frame, err := bin.Encode(fabric.Hello{Addr: "10.0.0.1:80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != 1 {
+		t.Fatalf("hello frame encoding byte = %d, want 1 (binary body)", frame[2])
+	}
+	var h fabric.Hello
+	if err := h.ParseBinary([]byte{1, 'a', 'Z'}); err == nil {
+		t.Fatal("hello body with trailing bytes accepted")
+	}
+}
+
+// FuzzBinaryDecode: arbitrary bytes must never panic the decoder, and
+// anything it does accept must re-encode and decode to the same value.
+func FuzzBinaryDecode(f *testing.F) {
+	_, bin := fullRegistry()
+	for _, payload := range registeredPayloads() {
+		frame, err := bin.Encode(payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{0xC5})
+	f.Add([]byte{0xC5, 1, 0, 255})
+	f.Add([]byte(`{"type":"fabric/hello","body":{"addr":"x"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := bin.Decode(data)
+		if err != nil || got == nil {
+			return
+		}
+		frame, err := bin.Encode(got)
+		if err != nil {
+			t.Fatalf("re-encode of accepted value %#v: %v", got, err)
+		}
+		again, err := bin.Decode(frame)
+		if err != nil || !reflect.DeepEqual(got, again) {
+			t.Fatalf("re-decode mismatch: %#v vs %#v (err %v)", got, again, err)
+		}
+	})
+}
+
+// FuzzConsumeString: the length-prefixed string helpers must be total over
+// arbitrary input and exact over their own output.
+func FuzzConsumeString(f *testing.F) {
+	f.Add("", []byte{})
+	f.Add("hello", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, s string, junk []byte) {
+		frame := fabric.AppendString(nil, s)
+		got, rest, err := fabric.ConsumeString(frame)
+		if err != nil || got != s || len(rest) != 0 {
+			t.Fatalf("round-trip %q: got %q rest=%d err=%v", s, got, len(rest), err)
+		}
+		// Arbitrary bytes: must not panic, errors are fine.
+		_, _, _ = fabric.ConsumeString(junk)
+	})
+}

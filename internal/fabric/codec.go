@@ -46,6 +46,16 @@ func Decode(env Envelope, out any) error {
 	return nil
 }
 
+// PayloadCodec turns typed payloads into wire frames and back. Two
+// implementations exist — *Codec (JSON envelopes) and *BinaryCodec
+// (length-prefixed binary frames, see bincodec.go) — and the codec is
+// selected per endpoint when a transport is adapted (FromTransport).
+// Decode returns (nil, nil) for frames tagged for other protocols.
+type PayloadCodec interface {
+	Encode(payload any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
 // Codec maps payload types to envelope tags and back, so callers send and
 // receive typed values while byte-oriented substrates carry envelopes.
 // Register every wire type once at setup; Encode and Decode are safe for

@@ -9,16 +9,17 @@ import (
 // typed payloads onto the wire and back.
 type TransportEndpoint struct {
 	ep    transport.Endpoint
-	codec *Codec
+	codec PayloadCodec
 	in    inbox
 }
 
-// FromTransport wraps a transport endpoint with the given codec. The raw
-// byte handler is claimed immediately: frames arriving before SetHandler
-// are decoded and buffered rather than dropped by the transport's drain
-// loop. Frames that fail to decode, or whose tag is not registered with the
-// codec, are counted as dropped.
-func FromTransport(ep transport.Endpoint, codec *Codec) *TransportEndpoint {
+// FromTransport wraps a transport endpoint with the given codec (JSON
+// *Codec or *BinaryCodec — the wire format is selected per endpoint here).
+// The raw byte handler is claimed immediately: frames arriving before
+// SetHandler are decoded and buffered rather than dropped by the
+// transport's drain loop. Frames that fail to decode, or whose tag is not
+// registered with the codec, are counted as dropped.
+func FromTransport(ep transport.Endpoint, codec PayloadCodec) *TransportEndpoint {
 	t := &TransportEndpoint{ep: ep, codec: codec}
 	ep.SetHandler(func(from string, data []byte) {
 		payload, err := codec.Decode(data)

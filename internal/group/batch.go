@@ -1,0 +1,192 @@
+package group
+
+import "time"
+
+// Sender-side batching and sequencer-side pipelining.
+//
+// With batching enabled a Multicast does not go straight to the wire:
+// the stamped data packet is parked in an accumulation buffer, and the
+// whole buffer travels as one kBatch packet when the accumulation window
+// elapses, the buffer reaches MaxMsgs, or the application calls Flush.
+// Receivers unpack a batch into the ordinary per-message delivery paths,
+// so batched and unbatched members interoperate within one view.
+//
+// The pipelining half lives on the ordering side: a sequencer that
+// receives a batch assigns the whole contiguous sequence run at once and
+// announces it with a single kOrder packet (MsgIDs + starting GlobalSeq),
+// and a token holder stamps a contiguous run onto the batch before it is
+// sent. At high fan-in this collapses the per-message sequencer round
+// trip — the paper's §5 scalability bottleneck — into one exchange per
+// window.
+
+// BatchConfig configures sender-side batching. The zero value disables
+// batching (every Multicast is one wire packet, the pre-existing
+// behaviour).
+type BatchConfig struct {
+	// Window is how long the first buffered message may wait for
+	// companions before the batch is flushed. A non-zero window requires
+	// a Timer in the member config.
+	Window time.Duration
+	// MaxMsgs flushes the batch early once this many messages accumulate.
+	// 0 with a non-zero Window means DefaultBatchMsgs.
+	MaxMsgs int
+}
+
+// DefaultBatchMsgs bounds a batch when only a window is configured.
+const DefaultBatchMsgs = 64
+
+// Enabled reports whether this configuration batches at all.
+func (b BatchConfig) Enabled() bool { return b.Window > 0 || b.MaxMsgs > 1 }
+
+func (b BatchConfig) maxMsgs() int {
+	if b.MaxMsgs > 1 {
+		return b.MaxMsgs
+	}
+	return DefaultBatchMsgs
+}
+
+// batchable reports whether the configured ordering supports batching.
+// Unordered and Causal multicasts gain nothing from coalescing here (no
+// ordering round trip to amortise) and keep the unbatched path.
+func (m *Member) batchable() bool {
+	switch m.ordering {
+	case FIFO, TotalSequencer, TotalToken:
+		return true
+	}
+	return false
+}
+
+// enqueueBatched stamps the outgoing message exactly as the unbatched path
+// would and parks it in the accumulation buffer. Called with m.mu held.
+// The flush — and therefore the wire send — happens later, so errors on
+// the fan-out surface as loss (repaired by NACK for FIFO, visible as
+// stalled delivery for the total orders), not as a Multicast error.
+func (m *Member) enqueueBatched(body any, size int) error {
+	if !m.view.Contains(m.id) {
+		return ErrNotMember
+	}
+	pkt := &packet{Kind: kData, From: m.id, ViewID: m.view.ID, Body: body, Size: size}
+	switch m.ordering {
+	case FIFO:
+		m.fifoSent++
+		pkt.SenderSeq = m.fifoSent
+		m.sentBuf[pkt.SenderSeq] = pkt
+		if old := pkt.SenderSeq - retainWindow; old > 0 {
+			delete(m.sentBuf, old)
+		}
+	case TotalSequencer, TotalToken:
+		m.msgCounter++
+		pkt.MsgID = msgID{Origin: m.id, N: m.msgCounter}
+	}
+	m.batchBuf = append(m.batchBuf, pkt)
+	if len(m.batchBuf) >= m.batch.maxMsgs() {
+		m.flushBatch()
+		return nil
+	}
+	if m.batch.Window > 0 && !m.batchArmed {
+		m.batchArmed = true
+		m.timer.After(m.batch.Window, m.batchTimerFire)
+	}
+	return nil
+}
+
+// batchTimerFire is the accumulation-window callback.
+func (m *Member) batchTimerFire() {
+	m.mu.Lock()
+	m.batchArmed = false
+	m.flushBatch()
+	m.runCallbacks()
+}
+
+// Flush forces any accumulated batch onto the wire now. A no-op for
+// unbatched members and empty buffers.
+func (m *Member) Flush() {
+	m.mu.Lock()
+	m.flushBatch()
+	m.runCallbacks()
+}
+
+// flushBatch moves the accumulation buffer onto the wire as one kBatch
+// packet. Called with m.mu held; the sends are queued on the callback
+// queue and run after release. A token-protocol member without the token
+// parks the batch in the outbox and requests the token instead — the
+// batch goes out, contiguously stamped, when the token arrives.
+func (m *Member) flushBatch() {
+	if len(m.batchBuf) == 0 {
+		return
+	}
+	buf := m.batchBuf
+	m.batchBuf = nil
+	if m.ordering == TotalToken {
+		if !m.hasToken {
+			m.outbox = append(m.outbox, buf...)
+			req := &packet{Kind: kTokenReq, From: m.id, ViewID: m.view.ID}
+			m.queueSendToView(req)
+			return
+		}
+		for _, p := range buf {
+			p.GlobalSeq = m.seqNext
+			m.seqNext++
+		}
+	}
+	m.queueSendToView(m.makeBatch(buf))
+}
+
+// makeBatch wraps the stamped packets in one wire batch.
+func (m *Member) makeBatch(buf []*packet) *packet {
+	total := 0
+	for _, p := range buf {
+		total += p.Size
+	}
+	return &packet{Kind: kBatch, From: m.id, ViewID: m.view.ID, Msgs: buf, Size: total}
+}
+
+// receiveBatch unpacks a wire batch into the per-message receive paths.
+// For the sequencer protocol the sequencer assigns one contiguous run to
+// the whole batch and announces it with a single kOrder packet; everyone
+// else just files the messages and waits for that announcement. Token
+// batches arrive pre-stamped by the holder.
+func (m *Member) receiveBatch(pkt *packet) {
+	switch m.ordering {
+	case TotalSequencer:
+		if m.view.Sequencer() == m.id {
+			var ids []msgID
+			var start uint64
+			for _, p := range pkt.Msgs {
+				if _, done := m.seqOf[p.MsgID]; done {
+					continue // duplicate batch replay
+				}
+				if len(ids) == 0 {
+					start = m.seqNext
+				}
+				m.seqOf[p.MsgID] = m.seqNext
+				m.seqNext++
+				ids = append(ids, p.MsgID)
+			}
+			if len(ids) > 0 {
+				order := &packet{Kind: kOrder, From: m.id, ViewID: m.view.ID, GlobalSeq: start, MsgIDs: ids}
+				m.queueSendToView(order)
+			}
+		}
+		for _, p := range pkt.Msgs {
+			m.pendingMsg[p.MsgID] = p
+		}
+		m.drainTotal()
+	case TotalToken:
+		for _, p := range pkt.Msgs {
+			m.pendingMsg[p.MsgID] = p
+			m.orderOf[p.GlobalSeq] = p.MsgID
+		}
+		m.drainTotal()
+	case FIFO:
+		for _, p := range pkt.Msgs {
+			m.receiveFIFO(p)
+		}
+	default:
+		// A batch arriving at an Unordered/Causal member (foreign or
+		// misconfigured sender): deliver the contents best-effort.
+		for _, p := range pkt.Msgs {
+			m.emit(p, 0)
+		}
+	}
+}

@@ -141,6 +141,7 @@ const (
 	kTokenReq
 	kNack
 	kSync
+	kBatch
 )
 
 // packet is the wire unit exchanged between members. Over netsim it
@@ -167,6 +168,12 @@ type packet struct {
 	// nack: the sender-sequence range [NackFrom, NackTo] being requested
 	NackFrom uint64
 	NackTo   uint64
+	// batching: a kBatch packet carries the coalesced data packets of one
+	// accumulation window; a kOrder packet with MsgIDs assigns the
+	// contiguous sequence run starting at GlobalSeq to those messages in
+	// order (one announcement per batch — the sequencer pipelining).
+	Msgs   []*packet
+	MsgIDs []msgID
 }
 
 type msgID struct {

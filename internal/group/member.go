@@ -68,6 +68,11 @@ type Member struct {
 	waitKnown  map[string]bool // dedup for tokenWait
 	outbox     []*packet       // token protocol: sends queued awaiting token
 
+	// Sender-side batching (see batch.go).
+	batch      BatchConfig
+	batchBuf   []*packet // stamped messages awaiting the window/flush
+	batchArmed bool      // an accumulation-window timer is pending
+
 	// RPC state.
 	callCounter uint64
 	handlers    map[string]HandlerFunc
@@ -114,6 +119,10 @@ type Config struct {
 	Ordering Ordering
 	Deliver  DeliverFunc
 	OnView   ViewFunc
+	// Batch enables sender-side batching for FIFO and the two total
+	// orders (see batch.go); the zero value keeps one packet per
+	// Multicast. A non-zero Window requires Timer.
+	Batch BatchConfig
 }
 
 // NewMember creates a group member on the given fabric endpoint and claims
@@ -128,6 +137,9 @@ func NewMember(cfg Config) (*Member, error) {
 	}
 	if cfg.Ordering == 0 {
 		cfg.Ordering = FIFO
+	}
+	if cfg.Batch.Window > 0 && cfg.Timer == nil {
+		return nil, fmt.Errorf("group: a batch window requires a timer")
 	}
 	m := &Member{
 		id:         cfg.Endpoint.ID(),
@@ -148,6 +160,7 @@ func NewMember(cfg Config) (*Member, error) {
 		waitKnown:  make(map[string]bool),
 		handlers:   make(map[string]HandlerFunc),
 		calls:      make(map[uint64]*pendingCall),
+		batch:      cfg.Batch,
 	}
 	cfg.Endpoint.SetHandler(func(from string, payload any, size int) {
 		m.Receive(from, payload)
@@ -230,6 +243,7 @@ func (m *Member) installView(v View) {
 	m.orderOf = make(map[uint64]msgID)
 	m.seqOf = make(map[msgID]uint64)
 	m.outbox = nil
+	m.batchBuf = nil // view change assumes quiescence; unsent coalesced messages drop with it
 	m.tokenWait = nil
 	m.waitKnown = make(map[string]bool)
 	m.hasToken = m.ordering == TotalToken && v.Sequencer() == m.id
@@ -268,9 +282,17 @@ func (m *Member) ProposeView(v View) error {
 
 // Multicast sends body to every member of the current view (including the
 // caller) with the configured ordering guarantee. size is the payload size
-// hint for bandwidth accounting.
+// hint for bandwidth accounting. With batching configured the message is
+// coalesced into the pending accumulation window instead of going straight
+// to the wire (see batch.go); it flushes when the window elapses, the
+// batch fills, or Flush is called.
 func (m *Member) Multicast(body any, size int) error {
 	m.mu.Lock()
+	if m.batch.Enabled() && m.batchable() {
+		err := m.enqueueBatched(body, size)
+		m.runCallbacks()
+		return err
+	}
 	targets, pkt, err := m.multicast(body, size)
 	m.runCallbacks() // releases m.mu: the fan-out below must not run under it
 	if err != nil {
@@ -377,6 +399,8 @@ func (m *Member) Receive(from string, payload any) {
 		m.installView(*pkt.NewView)
 	case kData:
 		m.receiveData(pkt)
+	case kBatch:
+		m.receiveBatch(pkt)
 	case kOrder:
 		m.receiveOrder(pkt)
 	case kToken:
@@ -604,7 +628,14 @@ func (m *Member) drainCausal() {
 }
 
 func (m *Member) receiveOrder(pkt *packet) {
-	m.orderOf[pkt.GlobalSeq] = pkt.MsgID
+	if len(pkt.MsgIDs) > 0 {
+		// Batched announcement: a contiguous run starting at GlobalSeq.
+		for i, id := range pkt.MsgIDs {
+			m.orderOf[pkt.GlobalSeq+uint64(i)] = id
+		}
+	} else {
+		m.orderOf[pkt.GlobalSeq] = pkt.MsgID
+	}
 	m.drainTotal()
 }
 
@@ -662,6 +693,23 @@ func (m *Member) receiveTokenReq(pkt *packet) {
 }
 
 func (m *Member) drainOutbox() {
+	if m.batch.Enabled() && len(m.outbox) > 1 {
+		// Pipeline the backlog: stamp and ship contiguous runs as wire
+		// batches instead of one packet per message.
+		max := m.batch.maxMsgs()
+		for len(m.outbox) > 0 {
+			n := min(max, len(m.outbox))
+			chunk := append([]*packet(nil), m.outbox[:n]...)
+			m.outbox = m.outbox[n:]
+			for _, p := range chunk {
+				p.GlobalSeq = m.seqNext
+				m.seqNext++
+			}
+			m.queueSendToView(m.makeBatch(chunk))
+		}
+		m.outbox = nil
+		return
+	}
 	for _, pkt := range m.outbox {
 		pkt.GlobalSeq = m.seqNext
 		m.seqNext++
@@ -673,7 +721,7 @@ func (m *Member) drainOutbox() {
 }
 
 func (m *Member) maybePassToken() {
-	if !m.hasToken || len(m.tokenWait) == 0 || len(m.outbox) > 0 {
+	if !m.hasToken || len(m.tokenWait) == 0 || len(m.outbox) > 0 || len(m.batchBuf) > 0 {
 		return
 	}
 	next := m.tokenWait[0]

@@ -1,0 +1,53 @@
+package group
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/vclock"
+)
+
+// TestPacketBinaryCodecParity: the group packet (unexported, so its parity
+// test lives here rather than with the fabric suite) decodes to the same
+// value through the binary codec as through the JSON codec — including a
+// batched packet with nested Msgs and a batched order announcement.
+func TestPacketBinaryCodecParity(t *testing.T) {
+	reg := fabric.NewCodec()
+	RegisterWire(reg)
+	bin := fabric.NewBinaryCodec(reg)
+
+	inner := []*packet{
+		{Kind: kData, From: "a", ViewID: 3, Body: "one", Size: 8, MsgID: msgID{Origin: "a", N: 1}},
+		{Kind: kData, From: "a", ViewID: 3, Body: "two", Size: 8, MsgID: msgID{Origin: "a", N: 2}},
+	}
+	cases := []*packet{
+		{Kind: kData, From: "a", ViewID: 3, Body: "hi", Size: 16, SenderSeq: 7,
+			VC: vclock.VC{"a": 4, "b": 2}, MsgID: msgID{Origin: "a", N: 7}},
+		{Kind: kBatch, From: "a", ViewID: 3, Size: 16, Msgs: inner},
+		{Kind: kOrder, From: "s", ViewID: 3, GlobalSeq: 11,
+			MsgIDs: []msgID{{Origin: "a", N: 1}, {Origin: "a", N: 2}}},
+		{Kind: kNack, From: "b", ViewID: 3, NackFrom: 2, NackTo: 5},
+	}
+	for _, p := range cases {
+		bframe, err := bin.Encode(p)
+		if err != nil {
+			t.Fatalf("kind %d: binary encode: %v", p.Kind, err)
+		}
+		jframe, err := reg.Encode(p)
+		if err != nil {
+			t.Fatalf("kind %d: json encode: %v", p.Kind, err)
+		}
+		bdec, err := bin.Decode(bframe)
+		if err != nil {
+			t.Fatalf("kind %d: binary decode: %v", p.Kind, err)
+		}
+		jdec, err := reg.Decode(jframe)
+		if err != nil {
+			t.Fatalf("kind %d: json decode: %v", p.Kind, err)
+		}
+		if !reflect.DeepEqual(bdec, jdec) {
+			t.Errorf("kind %d: binary %#v disagrees with json %#v", p.Kind, bdec, jdec)
+		}
+	}
+}

@@ -15,8 +15,9 @@ import (
 //     to fabric.FromTransport.
 //   - layer-netsim: internal/netsim is the discrete-event world — virtual
 //     time, topology, QoS links. The fabric adapter and the declared
-//     simulation-world packages (chaos, core, exps, mgmt, mobile, mobileip,
-//     stream) may import it, as may example mains that build demo worlds.
+//     simulation-world packages (bench, chaos, core, exps, mgmt, mobile,
+//     mobileip, stream) may import it, as may example mains that build demo
+//     worlds.
 //     The collaboration layers (group, session, ot, txn, floor, rooms, …)
 //     must not: they reach the network only through fabric.Endpoint, which
 //     is what keeps them runnable over every substrate and keeps the chaos
@@ -34,6 +35,7 @@ func Layering() *Analyzer {
 	}
 	netsimImporters := map[string]bool{
 		modulePrefix + "/internal/fabric":   true,
+		modulePrefix + "/internal/bench":    true,
 		modulePrefix + "/internal/chaos":    true,
 		modulePrefix + "/internal/core":     true,
 		modulePrefix + "/internal/exps":     true,

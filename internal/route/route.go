@@ -1,0 +1,91 @@
+// Package route shards the collaboration namespace into independent
+// ordering domains. ODP's trader and group abstractions scale only if
+// unrelated collaborations do not serialise through one sequencer: a
+// document's total order is a per-document (per-domain) property, not a
+// system-wide one. The router maps document and session keys onto a fixed
+// set of domains deterministically, so every node computes the same
+// placement without coordination, and DomainSet runs one group member per
+// domain so a stalled sequencer in one domain leaves the others untouched.
+package route
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+)
+
+// Router maps string keys (document ids, session names) onto shard
+// numbers. Placement is deterministic — FNV-1a over the key, modulo the
+// shard count — with an explicit pin table layered on top for keys that
+// operators move by hand (hot documents, locality constraints). Safe for
+// concurrent use.
+type Router struct {
+	shards int
+	mu     sync.RWMutex
+	pins   map[string]int
+}
+
+// New returns a router over the given number of shards; counts below one
+// are treated as one (a single domain degrades to the unsharded system).
+func New(shards int) *Router {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Router{shards: shards, pins: make(map[string]int)}
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Shard returns the shard for key: its pin if one is set, otherwise the
+// hash placement. Every node with the same router configuration computes
+// the same answer.
+func (r *Router) Shard(key string) int {
+	r.mu.RLock()
+	s, ok := r.pins[key]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(r.shards))
+}
+
+// Pin forces key onto shard. Pins must be applied identically on every
+// node (they are configuration, not runtime state).
+func (r *Router) Pin(key string, shard int) error {
+	if shard < 0 || shard >= r.shards {
+		return fmt.Errorf("route: pin %q to shard %d outside [0,%d)", key, shard, r.shards)
+	}
+	r.mu.Lock()
+	r.pins[key] = shard
+	r.mu.Unlock()
+	return nil
+}
+
+// Unpin removes key's pin, returning it to hash placement.
+func (r *Router) Unpin(key string) {
+	r.mu.Lock()
+	delete(r.pins, key)
+	r.mu.Unlock()
+}
+
+// DomainName returns the canonical name of a shard's ordering domain.
+func DomainName(shard int) string { return fmt.Sprintf("dom%02d", shard) }
+
+// MemberID returns the group-member identity of node within a shard's
+// domain. Group views sort member ids, so the "node#domNN" shape keeps a
+// node's relative order identical across domains — the least node is the
+// sequencer everywhere, which experiments rely on when they stall it.
+func MemberID(node string, shard int) string {
+	return node + "#" + DomainName(shard)
+}
+
+// NodeOf strips the domain suffix from a member id, recovering the node
+// name for application-facing delivery metadata.
+func NodeOf(memberID string) string {
+	node, _, _ := strings.Cut(memberID, "#")
+	return node
+}

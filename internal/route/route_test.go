@@ -1,0 +1,253 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/group"
+	"repro/internal/netsim"
+)
+
+func TestShardDeterministic(t *testing.T) {
+	r := New(4)
+	hit := make(map[int]int)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("doc-%03d", i)
+		s := r.Shard(key)
+		if s < 0 || s >= 4 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if again := r.Shard(key); again != s {
+			t.Fatalf("shard not deterministic for %q: %d then %d", key, s, again)
+		}
+		hit[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if hit[s] == 0 {
+			t.Fatalf("200 keys never landed on shard %d: %v", s, hit)
+		}
+	}
+}
+
+func TestPinUnpin(t *testing.T) {
+	r := New(3)
+	key := "hot-document"
+	natural := r.Shard(key)
+	pinned := (natural + 1) % 3
+	if err := r.Pin(key, pinned); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Shard(key); got != pinned {
+		t.Fatalf("pinned shard = %d, want %d", got, pinned)
+	}
+	if err := r.Pin(key, 3); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+	r.Unpin(key)
+	if got := r.Shard(key); got != natural {
+		t.Fatalf("after unpin shard = %d, want natural %d", got, natural)
+	}
+}
+
+func TestMemberIDNodeOf(t *testing.T) {
+	id := MemberID("alice", 7)
+	if id != "alice#dom07" {
+		t.Fatalf("MemberID = %q", id)
+	}
+	if got := NodeOf(id); got != "alice" {
+		t.Fatalf("NodeOf = %q", got)
+	}
+	if got := NodeOf("bare"); got != "bare" {
+		t.Fatalf("NodeOf(bare) = %q", got)
+	}
+}
+
+func TestDomainSetConfigValidation(t *testing.T) {
+	_, err := NewDomainSet(Config{Router: New(1), Endpoint: nil, Node: "a"})
+	if err == nil {
+		t.Fatal("missing endpoint factory accepted")
+	}
+	_, err = NewDomainSet(Config{Node: "", Router: New(1)})
+	if err == nil {
+		t.Fatal("missing node name accepted")
+	}
+	_, err = NewDomainSet(Config{Node: "a"})
+	if err == nil {
+		t.Fatal("missing router accepted")
+	}
+}
+
+// domainRig wires n nodes into DomainSets over one simulated network, with
+// an optional per-member endpoint middleware hook.
+type domainRig struct {
+	sim   *netsim.Sim
+	nodes []string
+	sets  map[string]*DomainSet
+	// deliv[node][doc] in delivery order
+	deliv map[string]map[string][]group.Delivery
+}
+
+func newDomainRig(t *testing.T, n, shards int, batch group.BatchConfig, wrap func(memberID string, ep fabric.Endpoint) fabric.Endpoint) *domainRig {
+	t.Helper()
+	r := &domainRig{
+		sim:   netsim.New(1, netsim.LANLink),
+		sets:  make(map[string]*DomainSet),
+		deliv: make(map[string]map[string][]group.Delivery),
+	}
+	for i := 0; i < n; i++ {
+		r.nodes = append(r.nodes, fmt.Sprintf("n%02d", i))
+	}
+	for _, node := range r.nodes {
+		node := node
+		r.deliv[node] = make(map[string][]group.Delivery)
+		ds, err := NewDomainSet(Config{
+			Node:     node,
+			Router:   New(shards),
+			Ordering: group.TotalSequencer,
+			Timer:    group.TimerFunc(func(d time.Duration, fn func()) { r.sim.At(d, fn) }),
+			Batch:    batch,
+			Endpoint: func(memberID string) fabric.Endpoint {
+				ep := fabric.Endpoint(fabric.FromSim(r.sim.MustAddNode(memberID)))
+				if wrap != nil {
+					ep = wrap(memberID, ep)
+				}
+				return ep
+			},
+			Deliver: func(doc string, d group.Delivery) {
+				r.deliv[node][doc] = append(r.deliv[node][doc], d)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.sets[node] = ds
+	}
+	for _, ds := range r.sets {
+		ds.InstallViews(1, r.nodes)
+	}
+	return r
+}
+
+// TestDomainSetTotalOrderPerDoc: documents pinned to different shards each
+// get their own gapless total order, agreed by every node, with sender
+// identity rewritten back to node names.
+func TestDomainSetTotalOrderPerDoc(t *testing.T) {
+	r := newDomainRig(t, 3, 2, group.BatchConfig{MaxMsgs: 4}, nil)
+	for _, ds := range r.sets {
+		if err := ds.cfg.Router.Pin("docA", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.cfg.Router.Pin("docB", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const per = 8
+	for i := 0; i < per; i++ {
+		i := i
+		r.sim.At(time.Duration(i)*time.Millisecond, func() {
+			_ = r.sets["n00"].Multicast("docA", fmt.Sprintf("a-%d", i), 8)
+			_ = r.sets["n01"].Multicast("docB", fmt.Sprintf("b-%d", i), 8)
+		})
+	}
+	r.sim.At(per*time.Millisecond, func() {
+		for _, ds := range r.sets {
+			ds.Flush()
+		}
+	})
+	r.sim.Run()
+	for _, doc := range []string{"docA", "docB"} {
+		ref := r.deliv[r.nodes[0]][doc]
+		if len(ref) != per {
+			t.Fatalf("node %s delivered %d for %s, want %d", r.nodes[0], len(ref), doc, per)
+		}
+		for i, d := range ref {
+			if d.Seq != uint64(i+1) {
+				t.Fatalf("%s delivery %d has seq %d, want %d (domains not independent?)", doc, i, d.Seq, i+1)
+			}
+			if d.From != "n00" && d.From != "n01" {
+				t.Fatalf("%s delivery From = %q, want a node name", doc, d.From)
+			}
+		}
+		for _, node := range r.nodes[1:] {
+			got := r.deliv[node][doc]
+			if len(got) != per {
+				t.Fatalf("node %s delivered %d for %s, want %d", node, len(got), doc, per)
+			}
+			for i := range got {
+				if got[i].Seq != ref[i].Seq || fmt.Sprint(got[i].Body) != fmt.Sprint(ref[i].Body) {
+					t.Fatalf("node %s disagrees on %s at %d", node, doc, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDomainStallIndependence is the acceptance check for sharded domains:
+// stalling one domain's sequencer endpoint (fabric.Stall middleware on the
+// least member's shard-0 endpoint) delays that domain's deliveries by the
+// hold, while the other domain's deliveries stay prompt.
+func TestDomainStallIndependence(t *testing.T) {
+	const hold = 50 * time.Millisecond
+	stall := fabric.NewStall()
+	var r *domainRig
+	r = newDomainRig(t, 3, 2, group.BatchConfig{}, func(memberID string, ep fabric.Endpoint) fabric.Endpoint {
+		// n00 sorts least in every domain, so it is every domain's
+		// sequencer; stall only its shard-0 member.
+		if memberID == MemberID("n00", 0) {
+			return fabric.Wrap(ep, stall.Middleware())
+		}
+		return ep
+	})
+	stall.SetTimer(func(d time.Duration, fn func()) { r.sim.At(d, fn) })
+	for _, ds := range r.sets {
+		if err := ds.cfg.Router.Pin("slow-doc", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.cfg.Router.Pin("fast-doc", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	arrived := make(map[string]time.Duration)
+	r.sim.At(time.Millisecond, func() {
+		stall.Hold(hold)
+		_ = r.sets["n01"].Multicast("slow-doc", "x", 8)
+		_ = r.sets["n01"].Multicast("fast-doc", "y", 8)
+	})
+	// Record when node n02 first sees each document's delivery.
+	base := r.deliv["n02"]
+	r.sim.At(time.Millisecond, func() {}) // ensure sim has events
+	probe := func() {}
+	probe = func() {
+		for _, doc := range []string{"slow-doc", "fast-doc"} {
+			if _, done := arrived[doc]; !done && len(base[doc]) > 0 {
+				arrived[doc] = r.sim.Now()
+			}
+		}
+		if len(arrived) < 2 && r.sim.Now() < time.Second {
+			r.sim.At(100*time.Microsecond, probe)
+		}
+	}
+	r.sim.At(time.Millisecond, probe)
+	r.sim.Run()
+
+	fast, ok := arrived["fast-doc"]
+	if !ok {
+		t.Fatal("fast-doc never delivered")
+	}
+	slow, ok := arrived["slow-doc"]
+	if !ok {
+		t.Fatal("slow-doc never delivered (stall never released?)")
+	}
+	if fast >= hold {
+		t.Fatalf("fast domain delayed to %v by a stall in the other domain (hold %v)", fast, hold)
+	}
+	if slow < hold {
+		t.Fatalf("stalled domain delivered at %v, before the %v hold elapsed", slow, hold)
+	}
+	if stall.Stalled() == 0 {
+		t.Fatal("stall middleware never engaged")
+	}
+}

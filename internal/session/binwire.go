@@ -1,0 +1,286 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Binary bodies for the session wire messages (fabric.BinaryAppender /
+// BinaryParser). Session traffic is the chattiest in the system — every
+// post, push and poll crosses the wire — so it gets hand-rolled bodies
+// instead of the JSON fallback: uvarint integers and length-prefixed
+// strings, no reflection, no intermediate buffers. Field order is fixed
+// and versioning rides on the fabric frame header.
+
+func appendItem(dst []byte, it Item) []byte {
+	dst = fabric.AppendUvarint(dst, it.Seq)
+	dst = fabric.AppendString(dst, it.From)
+	dst = fabric.AppendString(dst, it.Kind)
+	dst = fabric.AppendString(dst, it.Body)
+	return fabric.AppendUvarint(dst, uint64(it.At))
+}
+
+func consumeItem(data []byte) (Item, []byte, error) {
+	var it Item
+	var err error
+	if it.Seq, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return it, nil, err
+	}
+	if it.From, data, err = fabric.ConsumeString(data); err != nil {
+		return it, nil, err
+	}
+	if it.Kind, data, err = fabric.ConsumeString(data); err != nil {
+		return it, nil, err
+	}
+	if it.Body, data, err = fabric.ConsumeString(data); err != nil {
+		return it, nil, err
+	}
+	var at uint64
+	if at, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return it, nil, err
+	}
+	it.At = time.Duration(at)
+	return it, data, nil
+}
+
+func appendItems(dst []byte, items []Item) []byte {
+	dst = fabric.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = appendItem(dst, it)
+	}
+	return dst
+}
+
+func consumeItems(data []byte) ([]Item, []byte, error) {
+	n, data, err := fabric.ConsumeUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	// Each item takes at least 5 bytes; bound the allocation by what the
+	// body could actually hold so a corrupt count cannot balloon memory.
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: %d items in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	items := make([]Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var it Item
+		if it, data, err = consumeItem(data); err != nil {
+			return nil, nil, err
+		}
+		items = append(items, it)
+	}
+	return items, data, nil
+}
+
+// done rejects trailing bytes after a fully parsed body.
+func done(what string, rest []byte) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("session: %s body carries %d trailing bytes", what, len(rest))
+	}
+	return nil
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgJoin) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	dst = fabric.AppendString(dst, m.From)
+	dst = fabric.AppendUvarint(dst, m.Since)
+	return fabric.AppendUvarint(dst, uint64(m.State)), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgJoin) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.From, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Since, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	var st uint64
+	if st, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	m.State = Presence(st)
+	return done("join", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgJoinAck) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	dst = fabric.AppendUvarint(dst, uint64(m.Mode))
+	dst = fabric.AppendUvarint(dst, uint64(len(m.Members)))
+	for _, id := range m.Members {
+		dst = fabric.AppendString(dst, id)
+	}
+	return appendItems(dst, m.Backlog), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgJoinAck) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	var mode, n uint64
+	if mode, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	m.Mode = Mode(mode)
+	if n, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	if n > uint64(len(data)) {
+		return fmt.Errorf("%w: %d members in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	if n > 0 {
+		m.Members = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var id string
+			if id, data, err = fabric.ConsumeString(data); err != nil {
+				return err
+			}
+			m.Members = append(m.Members, id)
+		}
+	}
+	if m.Backlog, data, err = consumeItems(data); err != nil {
+		return err
+	}
+	return done("join-ack", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgPost) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	dst = fabric.AppendString(dst, m.From)
+	dst = fabric.AppendString(dst, m.Kind)
+	return fabric.AppendString(dst, m.Body), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgPost) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.From, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Kind, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Body, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	return done("post", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgItems) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	return appendItems(dst, m.Items), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgItems) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Items, data, err = consumeItems(data); err != nil {
+		return err
+	}
+	return done("items", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgPoll) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	dst = fabric.AppendString(dst, m.From)
+	return fabric.AppendUvarint(dst, m.Since), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgPoll) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.From, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Since, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	return done("poll", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgMode) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	return fabric.AppendUvarint(dst, uint64(m.Mode)), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgMode) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	var mode uint64
+	if mode, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	m.Mode = Mode(mode)
+	return done("mode", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgPresence) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	dst = fabric.AppendString(dst, m.From)
+	return fabric.AppendUvarint(dst, uint64(m.State)), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgPresence) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.From, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	var st uint64
+	if st, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	m.State = Presence(st)
+	return done("presence", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgLeave) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	return fabric.AppendString(dst, m.From), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgLeave) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.From, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	return done("leave", data)
+}

@@ -14,6 +14,7 @@ import (
 type Client struct {
 	ep   fabric.Endpoint
 	host string
+	doc  string // document key; "" is the unnamed session
 
 	mu       sync.Mutex
 	cbs      []func()
@@ -36,12 +37,23 @@ type Client struct {
 // NewClient creates a client on the given endpoint that will talk to the
 // named host, claiming the endpoint's handler.
 func NewClient(ep fabric.Endpoint, host string) *Client {
-	c := &Client{ep: ep, host: host, mode: Synchronous}
+	return NewClientForDoc(ep, host, "")
+}
+
+// NewClientForDoc creates a client bound to one named document on a
+// (possibly multi-document) host. Outgoing messages are stamped with doc;
+// incoming messages stamped for other documents are ignored, so several
+// documents can share a host endpoint without cross-talk.
+func NewClientForDoc(ep fabric.Endpoint, host, doc string) *Client {
+	c := &Client{ep: ep, host: host, doc: doc, mode: Synchronous}
 	ep.SetHandler(func(from string, payload any, size int) {
 		c.Receive(from, payload)
 	})
 	return c
 }
+
+// Doc returns the document key this client is bound to.
+func (c *Client) Doc() string { return c.doc }
 
 // runCallbacks is called with c.mu held and returns with it released; see
 // group.Member.runCallbacks for the pattern.
@@ -97,7 +109,7 @@ func (c *Client) Join(now time.Duration) error {
 	c.mu.Lock()
 	since := c.lastSeq
 	c.mu.Unlock()
-	return c.ep.Send(c.host, &MsgJoin{From: c.ID(), Since: since, State: Active}, 64)
+	return c.ep.Send(c.host, &MsgJoin{Doc: c.doc, From: c.ID(), Since: since, State: Active}, 64)
 }
 
 // Post submits an item to the session.
@@ -105,7 +117,7 @@ func (c *Client) Post(kind, body string, now time.Duration) error {
 	if !c.Joined() {
 		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
 	}
-	return c.ep.Send(c.host, &MsgPost{From: c.ID(), Kind: kind, Body: body}, len(body)+64)
+	return c.ep.Send(c.host, &MsgPost{Doc: c.doc, From: c.ID(), Kind: kind, Body: body}, len(body)+64)
 }
 
 // Poll fetches items posted since the client last saw one (the
@@ -117,7 +129,7 @@ func (c *Client) Poll(now time.Duration) error {
 	if !joined {
 		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
 	}
-	return c.ep.Send(c.host, &MsgPoll{From: c.ID(), Since: since}, 64)
+	return c.ep.Send(c.host, &MsgPoll{Doc: c.doc, From: c.ID(), Since: since}, 64)
 }
 
 // SetPresence announces a presence change.
@@ -125,7 +137,7 @@ func (c *Client) SetPresence(p Presence, now time.Duration) error {
 	if !c.Joined() {
 		return fmt.Errorf("%w: %s", ErrNotJoined, c.ID())
 	}
-	return c.ep.Send(c.host, &MsgPresence{From: c.ID(), State: p}, 64)
+	return c.ep.Send(c.host, &MsgPresence{Doc: c.doc, From: c.ID(), State: p}, 64)
 }
 
 // Leave departs the session (items continue to queue server-side and replay
@@ -138,12 +150,19 @@ func (c *Client) Leave(now time.Duration) error {
 	}
 	c.joined = false
 	c.mu.Unlock()
-	return c.ep.Send(c.host, &MsgLeave{From: c.ID()}, 64)
+	return c.ep.Send(c.host, &MsgLeave{Doc: c.doc, From: c.ID()}, 64)
 }
 
 // Receive ingests a wire message. NewClient wires the endpoint's handler
 // here; tests may call it directly.
 func (c *Client) Receive(from string, payload any) {
+	// Unstamped traffic (a single-session host) is accepted for
+	// compatibility; traffic stamped for another document is not ours.
+	if c.doc != "" {
+		if d := DocOf(payload); d != "" && d != c.doc {
+			return
+		}
+	}
 	c.mu.Lock()
 	switch m := payload.(type) {
 	case *MsgJoinAck:

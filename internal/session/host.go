@@ -28,7 +28,8 @@ type partState struct {
 // over netsim and over concurrent real transports alike; the OnItem
 // callback runs outside the lock.
 type Host struct {
-	ep fabric.Endpoint
+	ep  fabric.Endpoint
+	doc string // document key; "" is the unnamed (single-session) host
 
 	mu       sync.Mutex
 	cbs      []func()
@@ -49,17 +50,31 @@ type Host struct {
 // handler. clock supplies the current (virtual or real) time for item
 // stamping.
 func NewHost(ep fabric.Endpoint, mode Mode, clock func() time.Duration) *Host {
-	h := &Host{
-		ep:    ep,
-		mode:  mode,
-		parts: make(map[string]*partState),
-		clock: clock,
-	}
+	h := NewDocHost(ep, mode, clock, "")
 	ep.SetHandler(func(from string, payload any, size int) {
 		h.Receive(from, payload)
 	})
 	return h
 }
+
+// NewDocHost creates a host for one named document WITHOUT claiming the
+// endpoint's handler: the caller (normally a MultiHost demultiplexing many
+// documents over one endpoint) owns the handler and feeds Receive. All
+// outbound messages are stamped with doc; inbound messages for other
+// documents are ignored.
+func NewDocHost(ep fabric.Endpoint, mode Mode, clock func() time.Duration, doc string) *Host {
+	return &Host{
+		ep:    ep,
+		doc:   doc,
+		mode:  mode,
+		parts: make(map[string]*partState),
+		clock: clock,
+	}
+}
+
+// Doc returns the document key this host serves ("" for the unnamed
+// session).
+func (h *Host) Doc() string { return h.doc }
 
 // runCallbacks is called with h.mu held and returns with it released; see
 // group.Member.runCallbacks for the pattern.
@@ -132,6 +147,9 @@ func (h *Host) PresenceOf(id string) Presence {
 // Receive ingests a wire message. NewHost wires the endpoint's handler
 // here; tests may call it directly.
 func (h *Host) Receive(from string, payload any) {
+	if h.doc != "" && DocOf(payload) != h.doc {
+		return // another document's traffic on a shared endpoint
+	}
 	h.mu.Lock()
 	switch m := payload.(type) {
 	case *MsgJoin:
@@ -306,6 +324,24 @@ func withoutFrom(items []Item, from string) []Item {
 	return out
 }
 
+// stamp writes the host's document key into an outbound message. All host
+// sends construct fresh pointer payloads, so mutating here is safe.
+func (h *Host) stamp(payload any) {
+	if h.doc == "" {
+		return
+	}
+	switch m := payload.(type) {
+	case *MsgJoinAck:
+		m.Doc = h.doc
+	case *MsgItems:
+		m.Doc = h.doc
+	case *MsgMode:
+		m.Doc = h.doc
+	case *MsgPresence:
+		m.Doc = h.doc
+	}
+}
+
 func (h *Host) fanout(payload any, except string) {
 	for _, id := range h.members() {
 		p := h.parts[id]
@@ -322,6 +358,7 @@ func (h *Host) fanout(payload any, except string) {
 // cscwlint's lock-send rule enforces the discipline). Queued sends flush
 // in order, preserving the per-peer FIFO the clients rely on.
 func (h *Host) send(to string, payload any, size int) {
+	h.stamp(payload)
 	h.cbs = append(h.cbs, func() {
 		// Transient send failures (partitions, disconnected mobiles) surface
 		// as missed pushes; the poll path recovers them, so drop silently.

@@ -85,10 +85,15 @@ type Item struct {
 }
 
 // Wire message types. Bodies are JSON-friendly so the TCP adapter can
-// marshal them; over netsim they travel as in-memory values.
+// marshal them; over netsim they travel as in-memory values. Every message
+// carries an optional Doc — the document (session) key — so one endpoint
+// can serve many sessions (MultiHost) and shard routers can place each
+// document in its own ordering domain. An empty Doc is the unnamed
+// session, which keeps single-session deployments unchanged.
 
 // MsgJoin is a participant's join (or rejoin) request.
 type MsgJoin struct {
+	Doc   string   `json:"doc,omitempty"`
 	From  string   `json:"from"`
 	Since uint64   `json:"since"` // replay items after this sequence number
 	State Presence `json:"state"`
@@ -96,6 +101,7 @@ type MsgJoin struct {
 
 // MsgJoinAck carries the backlog and session mode to a joiner.
 type MsgJoinAck struct {
+	Doc     string   `json:"doc,omitempty"`
 	Mode    Mode     `json:"mode"`
 	Backlog []Item   `json:"backlog"`
 	Members []string `json:"members"`
@@ -103,6 +109,7 @@ type MsgJoinAck struct {
 
 // MsgPost submits an item to the host.
 type MsgPost struct {
+	Doc  string `json:"doc,omitempty"`
 	From string `json:"from"`
 	Kind string `json:"kind"`
 	Body string `json:"body"`
@@ -110,27 +117,74 @@ type MsgPost struct {
 
 // MsgItems pushes items to a participant.
 type MsgItems struct {
+	Doc   string `json:"doc,omitempty"`
 	Items []Item `json:"items"`
 }
 
 // MsgPoll requests items after Since.
 type MsgPoll struct {
+	Doc   string `json:"doc,omitempty"`
 	From  string `json:"from"`
 	Since uint64 `json:"since"`
 }
 
 // MsgMode announces a session mode switch.
 type MsgMode struct {
-	Mode Mode `json:"mode"`
+	Doc  string `json:"doc,omitempty"`
+	Mode Mode   `json:"mode"`
 }
 
 // MsgPresence announces a presence change.
 type MsgPresence struct {
+	Doc   string   `json:"doc,omitempty"`
 	From  string   `json:"from"`
 	State Presence `json:"state"`
 }
 
 // MsgLeave announces departure.
 type MsgLeave struct {
+	Doc  string `json:"doc,omitempty"`
 	From string `json:"from"`
+}
+
+// DocOf extracts the document key from any session wire message (empty for
+// the unnamed session or non-session payloads). MultiHost demultiplexes
+// with it.
+func DocOf(payload any) string {
+	switch m := payload.(type) {
+	case *MsgJoin:
+		return m.Doc
+	case MsgJoin:
+		return m.Doc
+	case *MsgJoinAck:
+		return m.Doc
+	case MsgJoinAck:
+		return m.Doc
+	case *MsgPost:
+		return m.Doc
+	case MsgPost:
+		return m.Doc
+	case *MsgItems:
+		return m.Doc
+	case MsgItems:
+		return m.Doc
+	case *MsgPoll:
+		return m.Doc
+	case MsgPoll:
+		return m.Doc
+	case *MsgMode:
+		return m.Doc
+	case MsgMode:
+		return m.Doc
+	case *MsgPresence:
+		return m.Doc
+	case MsgPresence:
+		return m.Doc
+	case *MsgLeave:
+		return m.Doc
+	case MsgLeave:
+		return m.Doc
+	default:
+		return ""
+	}
 }
