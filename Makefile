@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all check build vet lint test race bench bench-json chaos experiments examples cover
+.PHONY: all check build vet lint test race bench bench-json chaos experiments examples cover fuzz-smoke
 
 all: check
 
@@ -48,6 +48,19 @@ chaos:
 	go test -race ./internal/chaos
 	go test -race ./internal/chaos -chaos.seed=11
 	go test -race ./internal/chaos -chaos.seed=23
+
+# Short coverage-guided fuzz pass over every Fuzz* target (the checked-in
+# seed corpora always run in plain `make test`; this explores beyond them).
+# `go test -fuzz` takes exactly one target per invocation, hence the loop.
+FUZZ_PKGS := ./internal/crdt ./internal/fabric
+FUZZ_TIME := 10s
+fuzz-smoke:
+	@for pkg in $(FUZZ_PKGS); do \
+		for f in $$(go test -list 'Fuzz.*' $$pkg | grep '^Fuzz'); do \
+			echo "== fuzz $$pkg $$f ($(FUZZ_TIME)) =="; \
+			go test -run XXXNONE -fuzz "^$$f$$" -fuzztime=$(FUZZ_TIME) $$pkg || exit 1; \
+		done; \
+	done
 
 experiments:
 	go run ./cmd/experiments

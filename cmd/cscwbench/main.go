@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/group"
 	"repro/internal/session"
@@ -77,6 +78,12 @@ func run(args []string) error {
 	add("ot_roundtrip_c4", bench.OTBench(4))
 	add("session_post_sync", bench.SessionPostBench(*seed))
 
+	// OT-vs-CRDT shootout, clean-link throughput half: the same edit through
+	// either convergence engine, binary codec and full replica fan-in
+	// included.
+	add("shootout_ot4_clean", bench.ShootoutBench(engine.OT, 4))
+	add("shootout_crdt4_clean", bench.ShootoutBench(engine.CRDT, 4))
+
 	reg := session.NewWireCodec()
 	fabric.RegisterBase(reg)
 	payload := &session.MsgItems{Doc: "doc-7", Items: []session.Item{
@@ -103,6 +110,31 @@ func run(args []string) error {
 	}
 	if err := rep.Attach("multicast_seq8_batched", bench.MulticastLatencies(seqWindow, samples)); err != nil {
 		return err
+	}
+
+	// Shootout, adverse-network half: deterministic virtual-time convergence
+	// runs of both engines over the same seeded lossy and partitioned links.
+	edits := 200
+	if *quick {
+		edits = 60
+	}
+	for _, kind := range []string{engine.OT, engine.CRDT} {
+		for _, prof := range []struct {
+			tag string
+			o   bench.ShootoutOptions
+		}{
+			{"lossy20", bench.ShootoutLossyOptions(kind, *seed, edits)},
+			{"partition", bench.ShootoutPartitionOptions(kind, *seed, edits)},
+		} {
+			name := fmt.Sprintf("shootout_%s4_%s", kind, prof.tag)
+			fmt.Fprintf(os.Stderr, "shootout %s...\n", name)
+			row, err := bench.ShootoutRow(name, prof.o)
+			if err != nil {
+				return err
+			}
+			rep.Results = append(rep.Results, row)
+			fmt.Fprintf(os.Stderr, "  %s\n", row.Notes)
+		}
 	}
 
 	var w io.Writer = os.Stdout

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	cscwctl -user alice [-host 127.0.0.1:7480] [-doc name] [-codec json|binary]
+//	        [-engine ot|crdt]
 //	cscwctl chaos -list
 //	cscwctl chaos -scenario <name> [-seed <n>] [-v]
 //	cscwctl lint [-format=text|json|sarif|github] [-baseline=file] [dir] [pkgfilter]
@@ -25,6 +26,17 @@
 //	/away /back     change presence
 //	/leave          leave and exit
 //	anything else   posted as a chat item
+//
+// With -engine the client additionally keeps a local convergence-engine
+// replica of -doc (internal/engine): edits apply locally at once and ride
+// the session log as eng/op items. With -engine crdt any plain sessiond
+// relays them; -engine ot needs a sessiond started with -engine ot, the
+// integration site. Extra commands in engine mode:
+//
+//	/i <pos> <text> insert text at rune position pos
+//	/d <pos>        delete the rune at pos
+//	/text           print the local replica and its pending count
+//	/tick           run one recovery round (resend, pull, gossip)
 package main
 
 import (
@@ -33,10 +45,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/lint"
 	"repro/internal/session"
@@ -112,11 +127,26 @@ func run(args []string) error {
 	hostAddr := fs.String("host", "127.0.0.1:7480", "sessiond address")
 	doc := fs.String("doc", "", "document (session) to join; empty joins the unnamed session")
 	codecFlag := fs.String("codec", "json", "wire codec: json or binary (match sessiond)")
+	engFlag := fs.String("engine", "", "edit -doc through a convergence engine: ot or crdt (default: plain chat)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *user == "" {
 		return fmt.Errorf("cscwctl: -user is required")
+	}
+
+	// Engine mode keeps a local replica; the OT integration site is the
+	// daemon itself (session.HostAuthor), so -engine ot needs a sessiond
+	// running with -engine ot.
+	var eng engine.Doc
+	var engMu sync.Mutex
+	engCodec := fabric.NewBinaryCodec(engine.NewWireCodec())
+	if *engFlag != "" {
+		var err error
+		eng, err = engine.New(*engFlag, *doc, *user, session.HostAuthor)
+		if err != nil {
+			return fmt.Errorf("cscwctl: %v", err)
+		}
 	}
 
 	book := transport.NewAddressBook()
@@ -140,7 +170,49 @@ func run(args []string) error {
 	defer ep.Close()
 
 	cli := session.NewClientForDoc(ep, "host", *doc)
+
+	// postMsgs publishes engine messages into the session log. Callers hold
+	// engMu; Post itself is safe to call from the item callback.
+	postMsgs := func(msgs []engine.Msg) {
+		for _, m := range msgs {
+			body, err := engine.EncodeItemBody(engCodec, m)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "engine: %v\n", err)
+				return
+			}
+			if err := cli.Post(engine.ItemKind, body, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "engine: post: %v\n", err)
+				return
+			}
+		}
+	}
 	cli.OnItem = func(it session.Item) {
+		if eng != nil && it.Kind == engine.ItemKind {
+			if it.From == *user {
+				return // our own op, already applied locally
+			}
+			to, payload, err := engine.DecodeItemBody(engCodec, it.Body)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "engine: bad eng/op from %s: %v\n", it.From, err)
+				return
+			}
+			if to != "" && to != *user {
+				return // addressed to another replica
+			}
+			engMu.Lock()
+			out, err := eng.Apply(it.From, payload)
+			if err == nil {
+				postMsgs(out)
+			}
+			text, pending := eng.Text(), eng.Pending()
+			engMu.Unlock()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "engine: applying %T from %s: %v\n", payload, it.From, err)
+				return
+			}
+			fmt.Printf("-- doc now %q (%d pending) --\n", text, pending)
+			return
+		}
 		fmt.Printf("[#%d %s] %s: %s\n", it.Seq, it.Kind, it.From, it.Body)
 	}
 	cli.OnMode = func(m session.Mode) {
@@ -183,6 +255,18 @@ func run(args []string) error {
 		case line == "/leave":
 			err = cli.Leave(0)
 			return err
+		case eng != nil && line == "/text":
+			engMu.Lock()
+			fmt.Printf("-- doc %q (%d pending) --\n", eng.Text(), eng.Pending())
+			engMu.Unlock()
+		case eng != nil && line == "/tick":
+			engMu.Lock()
+			postMsgs(eng.Tick())
+			engMu.Unlock()
+		case eng != nil && strings.HasPrefix(line, "/i "):
+			err = engineInsert(eng, &engMu, postMsgs, line[len("/i "):])
+		case eng != nil && strings.HasPrefix(line, "/d "):
+			err = engineDelete(eng, &engMu, postMsgs, line[len("/d "):])
 		default:
 			err = cli.Post("chat", line, 0)
 		}
@@ -191,4 +275,46 @@ func run(args []string) error {
 		}
 	}
 	return sc.Err()
+}
+
+// engineInsert handles "/i <pos> <text>": each rune applies to the local
+// replica at once and its op goes out as an eng/op item.
+func engineInsert(eng engine.Doc, mu *sync.Mutex, post func([]engine.Msg), arg string) error {
+	posStr, text, ok := strings.Cut(strings.TrimSpace(arg), " ")
+	if !ok || text == "" {
+		return fmt.Errorf("usage: /i <pos> <text>")
+	}
+	pos, err := strconv.Atoi(posStr)
+	if err != nil {
+		return fmt.Errorf("usage: /i <pos> <text>: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, ch := range text {
+		msgs, err := eng.Insert(pos, ch)
+		if err != nil {
+			return err
+		}
+		post(msgs)
+		pos++
+	}
+	fmt.Printf("-- doc now %q (%d pending) --\n", eng.Text(), eng.Pending())
+	return nil
+}
+
+// engineDelete handles "/d <pos>".
+func engineDelete(eng engine.Doc, mu *sync.Mutex, post func([]engine.Msg), arg string) error {
+	pos, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil {
+		return fmt.Errorf("usage: /d <pos>: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	msgs, err := eng.Delete(pos)
+	if err != nil {
+		return err
+	}
+	post(msgs)
+	fmt.Printf("-- doc now %q (%d pending) --\n", eng.Text(), eng.Pending())
+	return nil
 }

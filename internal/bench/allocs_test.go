@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/group"
+)
+
+// TestBatchedMulticastAllocBudget pins the batched ordering hot path's
+// allocation count. The packet arena, inline delivery queue entries,
+// zero-copy fan-out snapshots and preallocated accumulation buffer brought
+// the 8-member sequencer path from ~13 allocs/op to ~1.5 (the remainder is
+// mostly the `any` boxing of the benchmark body plus simulator events); the
+// budget leaves headroom for runtime variation while catching any
+// reintroduced per-message or per-delivery allocation, which would add at
+// least 1/op (packet) or 8/op (delivery closures at 8 members).
+func TestBatchedMulticastAllocBudget(t *testing.T) {
+	const budget = 4.0
+	got := MulticastAllocsPerOp(MulticastOptions{
+		Members:  8,
+		Ordering: group.TotalSequencer,
+		Batch:    group.BatchConfig{MaxMsgs: 64},
+		Seed:     1,
+	}, 4096)
+	t.Logf("batched seq8: %.3f allocs/op (budget %.1f)", got, budget)
+	if got > budget {
+		t.Errorf("batched multicast allocates %.3f/op, budget %.1f — a per-message allocation crept back into the hot path", got, budget)
+	}
+}

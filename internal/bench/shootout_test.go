@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func shootoutOpts(kind string) ShootoutOptions {
+	return ShootoutLossyOptions(kind, 9, 80)
+}
+
+// TestShootoutConvergesUnderLoss: both engines, same seeds, same lossy
+// reordering link — every run must reach full convergence and account for
+// every edit in the latency profile.
+func TestShootoutConvergesUnderLoss(t *testing.T) {
+	for _, kind := range []string{engine.OT, engine.CRDT} {
+		o := shootoutOpts(kind)
+		res, err := ShootoutConverge(o)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s did not converge under loss", kind)
+		}
+		if res.Latency.Samples != o.Edits {
+			t.Fatalf("%s confirmed %d of %d edits", kind, res.Latency.Samples, o.Edits)
+		}
+		if res.Msgs == 0 || res.Bytes == 0 {
+			t.Fatalf("%s reported no wire traffic", kind)
+		}
+		t.Logf("%s: %d msgs, %d bytes, p50 %v p99 %v, tail %v",
+			kind, res.Msgs, res.Bytes, res.Latency.P50, res.Latency.P99, res.Tail)
+	}
+}
+
+// TestShootoutDeterministic: the convergence run is a pure function of its
+// options — virtual time, seeded loss and seeded edits leave nothing to the
+// host.
+func TestShootoutDeterministic(t *testing.T) {
+	a, err := ShootoutConverge(shootoutOpts(engine.CRDT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShootoutConverge(shootoutOpts(engine.CRDT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("shootout not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestShootoutSurvivesPartition: a mid-run partition between the two halves
+// (the OT server on one side) must still heal to convergence.
+func TestShootoutSurvivesPartition(t *testing.T) {
+	for _, kind := range []string{engine.OT, engine.CRDT} {
+		res, err := ShootoutConverge(ShootoutPartitionOptions(kind, 9, 80))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s did not converge after partition heal", kind)
+		}
+		t.Logf("%s partition: %d msgs, %d bytes, tail %v", kind, res.Msgs, res.Bytes, res.Tail)
+	}
+}
+
+// TestShootoutBenchSmoke drives each engine's benchmark pipeline for a few
+// hundred steps so the rig itself is covered by go test.
+func TestShootoutBenchSmoke(t *testing.T) {
+	for _, kind := range []string{engine.OT, engine.CRDT} {
+		step, err := ShootoutPipeline(kind, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 256; i++ {
+			if err := step(i); err != nil {
+				t.Fatalf("%s step %d: %v", kind, i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package crdt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/vclock"
+)
+
+// Binary bodies for the CRDT wire messages (fabric.BinaryAppender /
+// BinaryParser). Op traffic is per-keystroke and state gossip is periodic,
+// so both get hand-rolled bodies: uvarint integers, length-prefixed
+// strings, zigzag varints for signed deltas. Map-backed state is encoded
+// in sorted key order so equal states produce identical bytes — the
+// convergence checks in chaos and the fuzzers compare encodings directly.
+
+func appendID(dst []byte, id ID) []byte {
+	dst = fabric.AppendUvarint(dst, id.N)
+	return fabric.AppendString(dst, id.Site)
+}
+
+func consumeID(data []byte) (ID, []byte, error) {
+	var id ID
+	var err error
+	if id.N, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return id, nil, err
+	}
+	if id.Site, data, err = fabric.ConsumeString(data); err != nil {
+		return id, nil, err
+	}
+	return id, data, nil
+}
+
+func appendIDs(dst []byte, ids []ID) []byte {
+	dst = fabric.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = appendID(dst, id)
+	}
+	return dst
+}
+
+func consumeIDs(data []byte) ([]ID, []byte, error) {
+	n, data, err := fabric.ConsumeUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	// An ID takes at least 2 bytes; bound the allocation by what the body
+	// could actually hold so a corrupt count cannot balloon memory.
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: %d ids in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	ids := make([]ID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var id ID
+		if id, data, err = consumeID(data); err != nil {
+			return nil, nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, data, nil
+}
+
+func appendVC(dst []byte, vv vclock.VC) []byte {
+	sites := make([]string, 0, len(vv))
+	for site := range vv {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	dst = fabric.AppendUvarint(dst, uint64(len(sites)))
+	for _, site := range sites {
+		dst = fabric.AppendString(dst, site)
+		dst = fabric.AppendUvarint(dst, vv[site])
+	}
+	return dst
+}
+
+func consumeVC(data []byte) (vclock.VC, []byte, error) {
+	n, data, err := fabric.ConsumeUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: %d vector entries in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	vv := vclock.New()
+	for i := uint64(0); i < n; i++ {
+		var site string
+		var v uint64
+		if site, data, err = fabric.ConsumeString(data); err != nil {
+			return nil, nil, err
+		}
+		if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+			return nil, nil, err
+		}
+		vv[site] = v
+	}
+	return vv, data, nil
+}
+
+func appendOp(dst []byte, op Op) []byte {
+	dst = append(dst, byte(op.Kind))
+	dst = fabric.AppendString(dst, op.Site)
+	dst = fabric.AppendUvarint(dst, op.Seq)
+	dst = appendID(dst, op.ID)
+	dst = appendID(dst, op.After)
+	dst = fabric.AppendUvarint(dst, uint64(uint32(op.Ch)))
+	dst = fabric.AppendString(dst, op.Elem)
+	dst = appendIDs(dst, op.Dots)
+	return binary.AppendVarint(dst, op.Delta)
+}
+
+func consumeOp(data []byte) (Op, []byte, error) {
+	var op Op
+	if len(data) == 0 {
+		return op, nil, fmt.Errorf("%w: missing op kind", fabric.ErrTruncatedFrame)
+	}
+	op.Kind = OpKind(data[0])
+	data = data[1:]
+	var err error
+	if op.Site, data, err = fabric.ConsumeString(data); err != nil {
+		return op, nil, err
+	}
+	if op.Seq, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return op, nil, err
+	}
+	if op.ID, data, err = consumeID(data); err != nil {
+		return op, nil, err
+	}
+	if op.After, data, err = consumeID(data); err != nil {
+		return op, nil, err
+	}
+	var ch uint64
+	if ch, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return op, nil, err
+	}
+	op.Ch = rune(uint32(ch))
+	if op.Elem, data, err = fabric.ConsumeString(data); err != nil {
+		return op, nil, err
+	}
+	if op.Dots, data, err = consumeIDs(data); err != nil {
+		return op, nil, err
+	}
+	delta, n := binary.Varint(data)
+	if n <= 0 {
+		return op, nil, fmt.Errorf("%w: bad delta varint", fabric.ErrTruncatedFrame)
+	}
+	op.Delta = delta
+	return op, data[n:], nil
+}
+
+// done rejects trailing bytes after a fully parsed body.
+func done(what string, rest []byte) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("crdt: %s body carries %d trailing bytes", what, len(rest))
+	}
+	return nil
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgOp) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	return appendOp(dst, m.Op), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgOp) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Op, data, err = consumeOp(data); err != nil {
+		return err
+	}
+	return done("op", data)
+}
+
+func appendSeqState(dst []byte, st *SeqState) []byte {
+	dst = fabric.AppendUvarint(dst, uint64(len(st.Nodes)))
+	for _, n := range st.Nodes {
+		dst = appendID(dst, n.ID)
+		dst = appendID(dst, n.After)
+		dst = fabric.AppendUvarint(dst, uint64(uint32(n.Ch)))
+		del := byte(0)
+		if n.Deleted {
+			del = 1
+		}
+		dst = append(dst, del)
+	}
+	return appendVC(dst, st.VV)
+}
+
+func consumeSeqState(data []byte) (*SeqState, []byte, error) {
+	n, data, err := fabric.ConsumeUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: %d nodes in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	st := &SeqState{Nodes: make([]SeqNode, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var node SeqNode
+		if node.ID, data, err = consumeID(data); err != nil {
+			return nil, nil, err
+		}
+		if node.After, data, err = consumeID(data); err != nil {
+			return nil, nil, err
+		}
+		var ch uint64
+		if ch, data, err = fabric.ConsumeUvarint(data); err != nil {
+			return nil, nil, err
+		}
+		node.Ch = rune(uint32(ch))
+		if len(data) == 0 {
+			return nil, nil, fmt.Errorf("%w: missing tombstone flag", fabric.ErrTruncatedFrame)
+		}
+		node.Deleted = data[0] == 1
+		data = data[1:]
+		st.Nodes = append(st.Nodes, node)
+	}
+	if st.VV, data, err = consumeVC(data); err != nil {
+		return nil, nil, err
+	}
+	return st, data, nil
+}
+
+func appendSetState(dst []byte, st *SetState) []byte {
+	elems := make([]string, 0, len(st.Elems))
+	for elem := range st.Elems {
+		elems = append(elems, elem)
+	}
+	sort.Strings(elems)
+	dst = fabric.AppendUvarint(dst, uint64(len(elems)))
+	for _, elem := range elems {
+		dst = fabric.AppendString(dst, elem)
+		dst = appendIDs(dst, st.Elems[elem])
+	}
+	dst = appendIDs(dst, st.Removed)
+	return appendVC(dst, st.VV)
+}
+
+func consumeSetState(data []byte) (*SetState, []byte, error) {
+	n, data, err := fabric.ConsumeUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: %d elements in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	st := &SetState{Elems: make(map[string][]ID, n)}
+	for i := uint64(0); i < n; i++ {
+		var elem string
+		var ids []ID
+		if elem, data, err = fabric.ConsumeString(data); err != nil {
+			return nil, nil, err
+		}
+		if ids, data, err = consumeIDs(data); err != nil {
+			return nil, nil, err
+		}
+		st.Elems[elem] = ids
+	}
+	if st.Removed, data, err = consumeIDs(data); err != nil {
+		return nil, nil, err
+	}
+	if st.VV, data, err = consumeVC(data); err != nil {
+		return nil, nil, err
+	}
+	return st, data, nil
+}
+
+func appendCtrState(dst []byte, st *CtrState) []byte {
+	dst = appendSiteCounts(dst, st.Pos)
+	dst = appendSiteCounts(dst, st.Neg)
+	return appendVC(dst, st.VV)
+}
+
+func appendSiteCounts(dst []byte, m map[string]uint64) []byte {
+	sites := make([]string, 0, len(m))
+	for site := range m {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	dst = fabric.AppendUvarint(dst, uint64(len(sites)))
+	for _, site := range sites {
+		dst = fabric.AppendString(dst, site)
+		dst = fabric.AppendUvarint(dst, m[site])
+	}
+	return dst
+}
+
+func consumeSiteCounts(data []byte) (map[string]uint64, []byte, error) {
+	n, data, err := fabric.ConsumeUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%w: %d site counts in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	m := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		var site string
+		var v uint64
+		if site, data, err = fabric.ConsumeString(data); err != nil {
+			return nil, nil, err
+		}
+		if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+			return nil, nil, err
+		}
+		m[site] = v
+	}
+	return m, data, nil
+}
+
+func consumeCtrState(data []byte) (*CtrState, []byte, error) {
+	st := &CtrState{}
+	var err error
+	if st.Pos, data, err = consumeSiteCounts(data); err != nil {
+		return nil, nil, err
+	}
+	if st.Neg, data, err = consumeSiteCounts(data); err != nil {
+		return nil, nil, err
+	}
+	if st.VV, data, err = consumeVC(data); err != nil {
+		return nil, nil, err
+	}
+	return st, data, nil
+}
+
+// State-kind discriminators in the MsgState binary body.
+const (
+	stateSeq = 1
+	stateSet = 2
+	stateCtr = 3
+)
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgState) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	switch {
+	case m.Seq != nil:
+		return appendSeqState(append(dst, stateSeq), m.Seq), nil
+	case m.Set != nil:
+		return appendSetState(append(dst, stateSet), m.Set), nil
+	case m.Ctr != nil:
+		return appendCtrState(append(dst, stateCtr), m.Ctr), nil
+	default:
+		return nil, fmt.Errorf("crdt: state message carries no state")
+	}
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgState) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("%w: missing state kind", fabric.ErrTruncatedFrame)
+	}
+	kind := data[0]
+	data = data[1:]
+	switch kind {
+	case stateSeq:
+		if m.Seq, data, err = consumeSeqState(data); err != nil {
+			return err
+		}
+	case stateSet:
+		if m.Set, data, err = consumeSetState(data); err != nil {
+			return err
+		}
+	case stateCtr:
+		if m.Ctr, data, err = consumeCtrState(data); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("crdt: unknown state kind %d", kind)
+	}
+	return done("state", data)
+}

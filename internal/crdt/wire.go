@@ -1,0 +1,49 @@
+package crdt
+
+import "repro/internal/fabric"
+
+// Wire type tags for byte-oriented transports.
+const (
+	tagOp    = "crdt/op"
+	tagState = "crdt/state"
+)
+
+// MsgOp carries one CRDT operation for a document. CRDT docs need no
+// sequencer, so these ride the fabric as plain multicast (group broadcast
+// bodies, or session items); Doc names the document so shared endpoints
+// can demultiplex.
+type MsgOp struct {
+	Doc string `json:"doc,omitempty"`
+	Op  Op     `json:"op"`
+}
+
+// DocKey implements session.DocKeyed, letting the session layer demux CRDT
+// traffic by document without importing this package.
+func (m MsgOp) DocKey() string { return m.Doc }
+
+// MsgState carries a full replica snapshot for anti-entropy (gossip after
+// loss or partition). Exactly one of Seq/Set/Ctr is set.
+type MsgState struct {
+	Doc string    `json:"doc,omitempty"`
+	Seq *SeqState `json:"seq,omitempty"`
+	Set *SetState `json:"set,omitempty"`
+	Ctr *CtrState `json:"ctr,omitempty"`
+}
+
+// DocKey implements session.DocKeyed.
+func (m MsgState) DocKey() string { return m.Doc }
+
+// RegisterWire registers the CRDT wire messages with a fabric codec, so
+// replicas can converse over any fabric substrate (and over the binary
+// frame codec — both messages carry hand-rolled binary bodies).
+func RegisterWire(c *fabric.Codec) {
+	c.Register(tagOp, MsgOp{})
+	c.Register(tagState, MsgState{})
+}
+
+// NewWireCodec returns a codec pre-loaded with the CRDT wire messages.
+func NewWireCodec() *fabric.Codec {
+	c := fabric.NewCodec()
+	RegisterWire(c)
+	return c
+}

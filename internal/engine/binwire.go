@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/ot"
+)
+
+// Binary bodies for the OT engine messages (fabric.BinaryAppender /
+// BinaryParser), so the shootout's bytes-on-wire comparison measures both
+// engines over the same hand-rolled frame format.
+
+func appendOTOp(dst []byte, op ot.Op) []byte {
+	dst = fabric.AppendUvarint(dst, uint64(op.Kind))
+	dst = fabric.AppendUvarint(dst, uint64(op.Pos))
+	dst = fabric.AppendUvarint(dst, uint64(uint32(op.Ch)))
+	return fabric.AppendString(dst, op.Site)
+}
+
+func consumeOTOp(data []byte) (ot.Op, []byte, error) {
+	var op ot.Op
+	var err error
+	var v uint64
+	if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return op, nil, err
+	}
+	op.Kind = ot.Kind(v)
+	if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return op, nil, err
+	}
+	op.Pos = int(v)
+	if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return op, nil, err
+	}
+	op.Ch = rune(uint32(v))
+	if op.Site, data, err = fabric.ConsumeString(data); err != nil {
+		return op, nil, err
+	}
+	return op, data, nil
+}
+
+func appendCommitted(dst []byte, cm ot.Committed) []byte {
+	dst = appendOTOp(dst, cm.Op)
+	dst = fabric.AppendUvarint(dst, uint64(cm.Rev))
+	dst = fabric.AppendString(dst, cm.Site)
+	return fabric.AppendUvarint(dst, cm.Seq)
+}
+
+func consumeCommitted(data []byte) (ot.Committed, []byte, error) {
+	var cm ot.Committed
+	var err error
+	if cm.Op, data, err = consumeOTOp(data); err != nil {
+		return cm, nil, err
+	}
+	var v uint64
+	if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return cm, nil, err
+	}
+	cm.Rev = int(v)
+	if cm.Site, data, err = fabric.ConsumeString(data); err != nil {
+		return cm, nil, err
+	}
+	if cm.Seq, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return cm, nil, err
+	}
+	return cm, data, nil
+}
+
+// done rejects trailing bytes after a fully parsed body.
+func done(what string, rest []byte) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("engine: %s body carries %d trailing bytes", what, len(rest))
+	}
+	return nil
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgSubmit) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	dst = appendOTOp(dst, m.Sub.Op)
+	dst = fabric.AppendUvarint(dst, uint64(m.Sub.Base))
+	dst = fabric.AppendString(dst, m.Sub.Site)
+	return fabric.AppendUvarint(dst, m.Sub.Seq), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgSubmit) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Sub.Op, data, err = consumeOTOp(data); err != nil {
+		return err
+	}
+	var v uint64
+	if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	m.Sub.Base = int(v)
+	if m.Sub.Site, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.Sub.Seq, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	return done("submit", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgCommit) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	return appendCommitted(dst, m.C), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgCommit) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	if m.C, data, err = consumeCommitted(data); err != nil {
+		return err
+	}
+	return done("commit", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgPull) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	return fabric.AppendUvarint(dst, uint64(m.Base)), nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgPull) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	var v uint64
+	if v, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	m.Base = int(v)
+	return done("pull", data)
+}
+
+// AppendBinary implements fabric.BinaryAppender.
+func (m MsgCommits) AppendBinary(dst []byte) ([]byte, error) {
+	dst = fabric.AppendString(dst, m.Doc)
+	dst = fabric.AppendUvarint(dst, uint64(len(m.Cs)))
+	for _, cm := range m.Cs {
+		dst = appendCommitted(dst, cm)
+	}
+	return dst, nil
+}
+
+// ParseBinary implements fabric.BinaryParser.
+func (m *MsgCommits) ParseBinary(data []byte) error {
+	var err error
+	if m.Doc, data, err = fabric.ConsumeString(data); err != nil {
+		return err
+	}
+	var n uint64
+	if n, data, err = fabric.ConsumeUvarint(data); err != nil {
+		return err
+	}
+	if n > uint64(len(data)) {
+		return fmt.Errorf("%w: %d commits in %d bytes", fabric.ErrTruncatedFrame, n, len(data))
+	}
+	if n > 0 {
+		m.Cs = make([]ot.Committed, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var cm ot.Committed
+			if cm, data, err = consumeCommitted(data); err != nil {
+				return err
+			}
+			m.Cs = append(m.Cs, cm)
+		}
+	}
+	return done("commits", data)
+}

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+
+	"repro/internal/fabric"
+)
+
+// Engine messages can ride a session log as ordinary items: the body is the
+// codec-encoded payload in base64 behind an addressing prefix, so a plain
+// session daemon relays them untouched (the CRDT deployment) and an
+// OT-integrating daemon picks out the ones addressed to its server site.
+
+// ItemKind is the session item kind carrying a convergence-engine message.
+const ItemKind = "eng/op"
+
+// EncodeItemBody renders one engine message as a session item body:
+// "<to>|<base64 payload>", with an empty <to> meaning every replica.
+func EncodeItemBody(codec fabric.PayloadCodec, m Msg) (string, error) {
+	data, err := codec.Encode(m.Body)
+	if err != nil {
+		return "", err
+	}
+	if strings.Contains(m.To, "|") {
+		return "", fmt.Errorf("engine: site %q cannot ride an item body ('|' is the address separator)", m.To)
+	}
+	return m.To + "|" + base64.StdEncoding.EncodeToString(data), nil
+}
+
+// DecodeItemBody reverses EncodeItemBody. Replicas apply the payload when
+// to is empty (broadcast) or names them, and skip it otherwise.
+func DecodeItemBody(codec fabric.PayloadCodec, body string) (to string, payload any, err error) {
+	to, b64, ok := strings.Cut(body, "|")
+	if !ok {
+		return "", nil, fmt.Errorf("engine: item body has no address separator")
+	}
+	data, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return "", nil, fmt.Errorf("engine: item body payload: %w", err)
+	}
+	payload, err = codec.Decode(data)
+	if err != nil {
+		return "", nil, err
+	}
+	return to, payload, nil
+}

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"repro/internal/crdt"
+	"repro/internal/fabric"
+)
+
+// Wire type tags for byte-oriented transports.
+const (
+	tagSubmit  = "engine/ot-submit"
+	tagCommit  = "engine/ot-commit"
+	tagPull    = "engine/ot-pull"
+	tagCommits = "engine/ot-commits"
+)
+
+// RegisterWire registers every payload either engine emits — the OT
+// binding's submit/commit/pull messages and the CRDT op/state messages —
+// so one codec serves whichever engine a document selects.
+func RegisterWire(c *fabric.Codec) {
+	crdt.RegisterWire(c)
+	c.Register(tagSubmit, MsgSubmit{})
+	c.Register(tagCommit, MsgCommit{})
+	c.Register(tagPull, MsgPull{})
+	c.Register(tagCommits, MsgCommits{})
+}
+
+// NewWireCodec returns a codec pre-loaded with both engines' wire messages.
+func NewWireCodec() *fabric.Codec {
+	c := fabric.NewCodec()
+	RegisterWire(c)
+	return c
+}

@@ -65,7 +65,8 @@ func (m *Member) enqueueBatched(body any, size int) error {
 	if !m.view.Contains(m.id) {
 		return ErrNotMember
 	}
-	pkt := &packet{Kind: kData, From: m.id, ViewID: m.view.ID, Body: body, Size: size}
+	pkt := m.newPacket()
+	*pkt = packet{Kind: kData, From: m.id, ViewID: m.view.ID, Body: body, Size: size}
 	switch m.ordering {
 	case FIFO:
 		m.fifoSent++
@@ -77,6 +78,12 @@ func (m *Member) enqueueBatched(body any, size int) error {
 	case TotalSequencer, TotalToken:
 		m.msgCounter++
 		pkt.MsgID = msgID{Origin: m.id, N: m.msgCounter}
+	}
+	if m.batchBuf == nil {
+		// One full-size allocation per accumulation window instead of a
+		// growth ladder; the buffer is handed off wholesale at flush (the
+		// wire batch references it), so it cannot be recycled.
+		m.batchBuf = make([]*packet, 0, m.batch.maxMsgs())
 	}
 	m.batchBuf = append(m.batchBuf, pkt)
 	if len(m.batchBuf) >= m.batch.maxMsgs() {
@@ -138,7 +145,9 @@ func (m *Member) makeBatch(buf []*packet) *packet {
 	for _, p := range buf {
 		total += p.Size
 	}
-	return &packet{Kind: kBatch, From: m.id, ViewID: m.view.ID, Msgs: buf, Size: total}
+	pkt := m.newPacket()
+	*pkt = packet{Kind: kBatch, From: m.id, ViewID: m.view.ID, Msgs: buf, Size: total}
+	return pkt
 }
 
 // receiveBatch unpacks a wire batch into the per-message receive paths.
@@ -150,7 +159,7 @@ func (m *Member) receiveBatch(pkt *packet) {
 	switch m.ordering {
 	case TotalSequencer:
 		if m.view.Sequencer() == m.id {
-			var ids []msgID
+			ids := make([]msgID, 0, len(pkt.Msgs))
 			var start uint64
 			for _, p := range pkt.Msgs {
 				if _, done := m.seqOf[p.MsgID]; done {
@@ -164,7 +173,8 @@ func (m *Member) receiveBatch(pkt *packet) {
 				ids = append(ids, p.MsgID)
 			}
 			if len(ids) > 0 {
-				order := &packet{Kind: kOrder, From: m.id, ViewID: m.view.ID, GlobalSeq: start, MsgIDs: ids}
+				order := m.newPacket()
+				*order = packet{Kind: kOrder, From: m.id, ViewID: m.view.ID, GlobalSeq: start, MsgIDs: ids}
 				m.queueSendToView(order)
 			}
 		}

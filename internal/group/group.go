@@ -80,7 +80,10 @@ type TimerFunc func(d time.Duration, fn func())
 // After implements Timer.
 func (f TimerFunc) After(d time.Duration, fn func()) { f(d, fn) }
 
-// View is a membership epoch: a numbered, sorted member list.
+// View is a membership epoch: a numbered, sorted member list. Members must
+// not be mutated after the view is installed — members hand the slice out
+// as a zero-copy fan-out snapshot. NewView copies its input, so views built
+// through it are always safe.
 type View struct {
 	ID      uint64
 	Members []string

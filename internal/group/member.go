@@ -30,10 +30,16 @@ type Member struct {
 	// mu guards everything below. cbs collects application callbacks
 	// queued while holding mu; runCallbacks flushes them with mu
 	// released (flushing marks a flush in progress so nested entries
-	// leave the queue for the outer loop).
+	// leave the queue for the outer loop). cbsSpare recycles the previous
+	// flush's backing array so a steady delivery stream does not allocate
+	// a fresh queue per Receive.
 	mu       sync.Mutex
-	cbs      []func()
+	cbs      []cb
+	cbsSpare []cb
 	flushing bool
+
+	// pktChunk is the bump arena newPacket carves outgoing packets from.
+	pktChunk []packet
 
 	view View
 
@@ -80,6 +86,35 @@ type Member struct {
 
 	// Metrics.
 	delivered uint64
+}
+
+// cb is one queued application callback. The overwhelmingly common entry —
+// a message delivery — is stored inline (del/isDel) rather than as a
+// closure, keeping the multicast hot path free of a per-delivery closure
+// allocation; everything else (view notifications, queued sends, RPC
+// completions) rides fn.
+type cb struct {
+	fn    func()
+	del   Delivery
+	isDel bool
+}
+
+// pktChunkSize sizes the packet arena chunks handed out by newPacket.
+const pktChunkSize = 64
+
+// newPacket carves an outgoing packet from the member's bump arena: one
+// backing allocation serves pktChunkSize packets on the multicast hot
+// path. Packets are never recycled — over netsim a *packet is shared by
+// every receiver, and FIFO retains sent packets for NACK repair — so the
+// arena only amortises allocation; it must not reuse storage. Called with
+// m.mu held.
+func (m *Member) newPacket() *packet {
+	if len(m.pktChunk) == 0 {
+		m.pktChunk = make([]packet, pktChunkSize)
+	}
+	p := &m.pktChunk[0]
+	m.pktChunk = m.pktChunk[1:]
+	return p
 }
 
 // HandlerFunc services a group RPC operation.
@@ -180,12 +215,23 @@ func (m *Member) runCallbacks() {
 	m.flushing = true
 	for len(m.cbs) > 0 {
 		batch := m.cbs
-		m.cbs = nil
+		m.cbs = m.cbsSpare[:0]
+		m.cbsSpare = nil
 		m.mu.Unlock()
-		for _, fn := range batch {
-			fn()
+		for i := range batch {
+			// m.deliver is immutable after NewMember, so reading it
+			// without the lock is safe.
+			if batch[i].isDel {
+				m.deliver(batch[i].del)
+			} else {
+				batch[i].fn()
+			}
 		}
 		m.mu.Lock()
+		if m.cbsSpare == nil {
+			clear(batch) // drop body/closure references before recycling
+			m.cbsSpare = batch[:0]
+		}
 	}
 	m.flushing = false
 	m.mu.Unlock()
@@ -249,7 +295,7 @@ func (m *Member) installView(v View) {
 	m.hasToken = m.ordering == TotalToken && v.Sequencer() == m.id
 	if m.onView != nil {
 		onView := m.onView
-		m.cbs = append(m.cbs, func() { onView(v) })
+		m.cbs = append(m.cbs, cb{fn: func() { onView(v) }})
 	}
 }
 
@@ -309,7 +355,8 @@ func (m *Member) multicast(body any, size int) ([]string, *packet, error) {
 	if !m.view.Contains(m.id) {
 		return nil, nil, ErrNotMember
 	}
-	pkt := &packet{Kind: kData, From: m.id, ViewID: m.view.ID, Body: body, Size: size}
+	pkt := m.newPacket()
+	*pkt = packet{Kind: kData, From: m.id, ViewID: m.view.ID, Body: body, Size: size}
 	switch m.ordering {
 	case FIFO:
 		m.fifoSent++
@@ -341,11 +388,12 @@ func (m *Member) multicast(body any, size int) ([]string, *packet, error) {
 	return m.viewTargets(), pkt, nil
 }
 
-// viewTargets snapshots the current view's membership. Fan-outs send to a
-// snapshot taken under the lock, never to m.view directly: the sends run
-// after release, where a concurrent view installation could otherwise race.
+// viewTargets returns the current view's membership for fan-out, without
+// copying: View.Members is immutable once installed (see the View doc), and
+// a view change installs a wholly new slice, so a fan-out running after the
+// lock is released still ranges over exactly the snapshot it captured.
 func (m *Member) viewTargets() []string {
-	return append([]string(nil), m.view.Members...)
+	return m.view.Members
 }
 
 // sendToAll fans pkt out to targets. It must be called without m.mu held —
@@ -373,16 +421,16 @@ func (m *Member) sendToAll(targets []string, pkt *packet) error {
 // or measured by the experiments.
 func (m *Member) queueSendToView(pkt *packet) {
 	targets := m.viewTargets()
-	m.cbs = append(m.cbs, func() {
+	m.cbs = append(m.cbs, cb{fn: func() {
 		for _, id := range targets {
 			_ = m.ep.Send(id, pkt, pkt.Size+64)
 		}
-	})
+	}})
 }
 
 // queueSend schedules one fire-and-forget send the same way.
 func (m *Member) queueSend(to string, pkt *packet, size int) {
-	m.cbs = append(m.cbs, func() { _ = m.ep.Send(to, pkt, size) })
+	m.cbs = append(m.cbs, cb{fn: func() { _ = m.ep.Send(to, pkt, size) }})
 }
 
 // Receive ingests a packet from the endpoint. NewMember wires the
@@ -421,9 +469,9 @@ func (m *Member) Receive(from string, payload any) {
 
 func (m *Member) emit(pkt *packet, seq uint64) {
 	m.delivered++
-	deliver := m.deliver
-	del := Delivery{From: pkt.From, Body: pkt.Body, Seq: seq, VC: pkt.VC, ViewID: pkt.ViewID}
-	m.cbs = append(m.cbs, func() { deliver(del) })
+	m.cbs = append(m.cbs, cb{isDel: true, del: Delivery{
+		From: pkt.From, Body: pkt.Body, Seq: seq, VC: pkt.VC, ViewID: pkt.ViewID,
+	}})
 }
 
 func (m *Member) receiveData(pkt *packet) {
@@ -438,7 +486,8 @@ func (m *Member) receiveData(pkt *packet) {
 		if m.view.Sequencer() == m.id {
 			// Assign the next global sequence number and announce it.
 			if _, done := m.seqOf[pkt.MsgID]; !done {
-				order := &packet{Kind: kOrder, From: m.id, ViewID: m.view.ID, MsgID: pkt.MsgID, GlobalSeq: m.seqNext}
+				order := m.newPacket()
+				*order = packet{Kind: kOrder, From: m.id, ViewID: m.view.ID, MsgID: pkt.MsgID, GlobalSeq: m.seqNext}
 				m.seqOf[pkt.MsgID] = m.seqNext
 				m.seqNext++
 				// Ordering announcements ride reliable sim links; a loss
@@ -787,7 +836,7 @@ func (m *Member) Call(op string, body any, opts CallOpts, done func([]Reply, err
 			}
 			c.done = true
 			delete(m.calls, id)
-			m.cbs = append(m.cbs, func() { c.callback(c.replies, ErrRPCDeadline) })
+			m.cbs = append(m.cbs, cb{fn: func() { c.callback(c.replies, ErrRPCDeadline) }})
 			m.runCallbacks()
 		})
 	}
@@ -801,7 +850,7 @@ func (m *Member) receiveRPCRequest(pkt *packet) {
 	h, ok := m.handlers[pkt.Op]
 	// Run the handler outside the lock: handlers may multicast or call
 	// back into the member.
-	m.cbs = append(m.cbs, func() {
+	m.cbs = append(m.cbs, cb{fn: func() {
 		rep := &packet{Kind: kRPCRep, From: m.id, ViewID: pkt.ViewID, CallID: pkt.CallID}
 		if !ok {
 			rep.IsError = true
@@ -818,7 +867,7 @@ func (m *Member) receiveRPCRequest(pkt *packet) {
 		if err := m.ep.Send(pkt.From, rep, 64); err != nil {
 			_ = err // caller's deadline covers lost replies
 		}
-	})
+	}})
 }
 
 func (m *Member) receiveRPCReply(pkt *packet) {
@@ -836,6 +885,6 @@ func (m *Member) receiveRPCReply(pkt *packet) {
 		delete(m.calls, pkt.CallID)
 		// Deterministic reply order for callers that inspect replies.
 		sort.Slice(pc.replies, func(i, j int) bool { return pc.replies[i].From < pc.replies[j].From })
-		m.cbs = append(m.cbs, func() { pc.callback(pc.replies, nil) })
+		m.cbs = append(m.cbs, cb{fn: func() { pc.callback(pc.replies, nil) }})
 	}
 }

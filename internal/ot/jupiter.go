@@ -29,7 +29,8 @@ var ErrBadRevision = errors.New("ot: bad base revision")
 // document and the committed history.
 type Server struct {
 	doc     []rune
-	history []Op // committed ops, index i == revision i+1
+	history []Op        // committed ops, index i == revision i+1
+	log     []Committed // the same commits with site/seq, for resync
 }
 
 // NewServer creates a server with the initial document.
@@ -58,7 +59,25 @@ func (s *Server) Submit(op Op, base int, site string, seq uint64) (Committed, er
 	}
 	s.doc = doc
 	s.history = append(s.history, op)
-	return Committed{Op: op, Rev: len(s.history), Site: site, Seq: seq}, nil
+	cm := Committed{Op: op, Rev: len(s.history), Site: site, Seq: seq}
+	s.log = append(s.log, cm)
+	return cm, nil
+}
+
+// CommittedSince returns the commits after revision base, in revision
+// order — the pull-based resync path for clients that missed broadcasts
+// (loss, partition, late join). A base at or beyond the current revision
+// yields nil.
+func (s *Server) CommittedSince(base int) []Committed {
+	if base < 0 {
+		base = 0
+	}
+	if base >= len(s.log) {
+		return nil
+	}
+	out := make([]Committed, len(s.log)-base)
+	copy(out, s.log[base:])
+	return out
 }
 
 // Client is an editing site in the centrally-ordered model. It keeps at

@@ -227,8 +227,28 @@ func (h *Host) onPost(m MsgPost) {
 	if _, ok := h.parts[m.From]; !ok {
 		return // posts from strangers are dropped
 	}
+	h.appendItem(m.From, m.Kind, m.Body)
+}
+
+// HostAuthor is the author id of items the host posts itself (PostLocal).
+// Participant ids never start with '!', so host items are pushed to every
+// participant and are never filtered as someone's own.
+const HostAuthor = "!host"
+
+// PostLocal appends an item authored by the host itself and propagates it
+// exactly like an accepted participant post — daemon-side convergence
+// engines publish OT commits into the session log this way.
+func (h *Host) PostLocal(kind, body string) {
+	h.mu.Lock()
+	h.appendItem(HostAuthor, kind, body)
+	h.runCallbacks()
+}
+
+// appendItem logs one item and pushes it per the session mode. Callers
+// hold h.mu.
+func (h *Host) appendItem(from, kind, body string) {
 	h.seq++
-	it := Item{Seq: h.seq, From: m.From, Kind: m.Kind, Body: m.Body, At: h.clock()}
+	it := Item{Seq: h.seq, From: from, Kind: kind, Body: body, At: h.clock()}
 	h.log = append(h.log, it)
 	h.stats.Posts++
 	if h.OnItem != nil {
@@ -240,12 +260,12 @@ func (h *Host) onPost(m MsgPost) {
 	}
 	for _, id := range h.members() {
 		p := h.parts[id]
-		if p.presence != Active || id == m.From {
+		if p.presence != Active || id == from {
 			// The poster's own item counts as delivered to it — but only
 			// while Active, when everything before it was pushed too.
 			// Advancing an away poster's cursor would skip the interim
 			// items out of its return-to-active flush.
-			if id == m.From && p.presence == Active {
+			if id == from && p.presence == Active {
 				p.acked = it.Seq
 			}
 			continue

@@ -147,9 +147,16 @@ type MsgLeave struct {
 	From string `json:"from"`
 }
 
-// DocOf extracts the document key from any session wire message (empty for
-// the unnamed session or non-session payloads). MultiHost demultiplexes
-// with it.
+// DocKeyed is implemented by foreign wire payloads (CRDT ops and state
+// snapshots, engine traffic) that carry a session document key, so DocOf
+// can demultiplex them without this package importing their types.
+type DocKeyed interface {
+	DocKey() string
+}
+
+// DocOf extracts the document key from any session wire message, or from
+// any foreign payload implementing DocKeyed (empty for the unnamed session
+// or unkeyed payloads). MultiHost demultiplexes with it.
 func DocOf(payload any) string {
 	switch m := payload.(type) {
 	case *MsgJoin:
@@ -184,6 +191,8 @@ func DocOf(payload any) string {
 		return m.Doc
 	case MsgLeave:
 		return m.Doc
+	case DocKeyed:
+		return m.DocKey()
 	default:
 		return ""
 	}
