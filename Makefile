@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all check build vet lint test race bench bench-json chaos experiments examples cover fuzz-smoke
+.PHONY: all check build vet lint lint-baseline test race bench bench-json chaos experiments examples cover fuzz-smoke
 
 all: check
 
@@ -24,6 +24,12 @@ vet:
 # 1 violation, 2 load error — shared with `cscwctl lint` and `cscwctl chaos`.
 lint:
 	go run ./cmd/cscwlint .
+
+# Print every current finding as lint.baseline candidate lines (the gate
+# warns about stale entries; this regenerates the non-comment body). Always
+# exits 0 — the output feeds a human edit, not CI.
+lint-baseline:
+	go run ./cmd/cscwlint -format=baseline .
 
 test:
 	go test ./...

@@ -169,6 +169,56 @@ func TestBaselineSuppresses(t *testing.T) {
 	}
 }
 
+func TestFormatBaseline(t *testing.T) {
+	// Regeneration mode: every current finding as a baseline candidate
+	// line, exit 0 even though the module is dirty.
+	code, stdout, stderr := runCLI("-format=baseline", "testdata/broken")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.HasPrefix(stdout, "internal/clockbad/clockbad.go: [det-time] ") {
+		t.Errorf("stdout = %q, want baseline-keyed candidate lines", stdout)
+	}
+	if !strings.Contains(stderr, "baseline candidate(s)") {
+		t.Errorf("stderr = %q, want candidate count note", stderr)
+	}
+}
+
+func TestFormatBaselineIncludesBaselined(t *testing.T) {
+	// Candidates are the full current finding set: an already-baselined
+	// finding still renders, so the file can be regenerated wholesale.
+	bl := filepath.Join(t.TempDir(), "lint.baseline")
+	entry := "internal/clockbad/clockbad.go: [det-time] time.Now reads the wall clock in a trace-critical package; inject a clock (func() time.Duration) instead\n"
+	if err := os.WriteFile(bl, []byte(entry), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCLI("-format=baseline", "-baseline="+bl, "testdata/broken")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != strings.TrimSpace(entry) {
+		t.Errorf("stdout = %q, want the finding rendered despite the baseline", stdout)
+	}
+}
+
+func TestBaselineStaleEntryWarns(t *testing.T) {
+	// One matching entry, one paid-down: the run is clean but the gate
+	// names the stale entry so it gets deleted.
+	bl := filepath.Join(t.TempDir(), "lint.baseline")
+	live := "internal/clockbad/clockbad.go: [det-time] time.Now reads the wall clock in a trace-critical package; inject a clock (func() time.Duration) instead\n"
+	stale := "internal/gone/gone.go: [det-rand] finding that was fixed long ago\n"
+	if err := os.WriteFile(bl, []byte(live+stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI("-baseline="+bl, "testdata/broken")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stale entries warn, not fail): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "internal/gone/gone.go") {
+		t.Errorf("stderr = %q, want stale-entry warning naming the entry", stderr)
+	}
+}
+
 func TestBaselineStaleEntryStillFails(t *testing.T) {
 	bl := filepath.Join(t.TempDir(), "lint.baseline")
 	if err := os.WriteFile(bl, []byte("internal/other.go: [det-time] something else\n"), 0o644); err != nil {

@@ -70,6 +70,8 @@ var (
 )
 
 // Encode frames payload under its registered tag.
+//
+//cscw:hotpath
 func (c *BinaryCodec) Encode(payload any) ([]byte, error) {
 	t := reflect.TypeOf(payload)
 	for t != nil && t.Kind() == reflect.Pointer {
@@ -120,6 +122,8 @@ func (c *BinaryCodec) Encode(payload any) ([]byte, error) {
 // prefix past the limit or disagreeing with the actual frame size) are
 // errors. Frames without the binary magic byte are delegated to the
 // underlying JSON codec.
+//
+//cscw:hotpath
 func (c *BinaryCodec) Decode(data []byte) (any, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("%w: empty", ErrTruncatedFrame)

@@ -61,6 +61,8 @@ func (m *Member) batchable() bool {
 // The flush — and therefore the wire send — happens later, so errors on
 // the fan-out surface as loss (repaired by NACK for FIFO, visible as
 // stalled delivery for the total orders), not as a Multicast error.
+//
+//cscw:hotpath
 func (m *Member) enqueueBatched(body any, size int) error {
 	if !m.view.Contains(m.id) {
 		return ErrNotMember
@@ -92,6 +94,7 @@ func (m *Member) enqueueBatched(body any, size int) error {
 	}
 	if m.batch.Window > 0 && !m.batchArmed {
 		m.batchArmed = true
+		//lint:ignore hot-alloc one timer closure per accumulation window, amortized over the whole batch
 		m.timer.After(m.batch.Window, m.batchTimerFire)
 	}
 	return nil
@@ -118,6 +121,8 @@ func (m *Member) Flush() {
 // queue and run after release. A token-protocol member without the token
 // parks the batch in the outbox and requests the token instead — the
 // batch goes out, contiguously stamped, when the token arrives.
+//
+//cscw:hotpath
 func (m *Member) flushBatch() {
 	if len(m.batchBuf) == 0 {
 		return
@@ -140,6 +145,8 @@ func (m *Member) flushBatch() {
 }
 
 // makeBatch wraps the stamped packets in one wire batch.
+//
+//cscw:hotpath
 func (m *Member) makeBatch(buf []*packet) *packet {
 	total := 0
 	for _, p := range buf {
@@ -155,6 +162,8 @@ func (m *Member) makeBatch(buf []*packet) *packet {
 // the whole batch and announces it with a single kOrder packet; everyone
 // else just files the messages and waits for that announcement. Token
 // batches arrive pre-stamped by the holder.
+//
+//cscw:hotpath
 func (m *Member) receiveBatch(pkt *packet) {
 	switch m.ordering {
 	case TotalSequencer:

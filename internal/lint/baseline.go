@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -70,6 +71,28 @@ func (b *Baseline) Filter(root string, diags []Diagnostic) (live []Diagnostic, b
 		live = append(live, d)
 	}
 	return live, baselined
+}
+
+// Stale returns the baseline entries no current finding matches — debt
+// that has been paid down but whose marker was never deleted. Callers must
+// pass every finding (pre-Filter); a filtered run hides findings that may
+// legitimately match an entry, so its stale set would lie.
+func (b *Baseline) Stale(root string, diags []Diagnostic) []string {
+	if len(b.keys) == 0 {
+		return nil
+	}
+	hit := make(map[string]bool, len(diags))
+	for _, d := range diags {
+		hit[baselineKey(relPath(root, d.Pos.Filename), d.Rule, d.Message)] = true
+	}
+	var out []string
+	for k := range b.keys {
+		if !hit[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Render writes diagnostics in baseline-file form, ready to append to

@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // The Makefile's `make lint` gate must stay interactive (< 10s wall on the
 // CI runners). Loading and type-checking the module dominates; the analysis
@@ -35,5 +38,46 @@ func BenchmarkAnalyzers(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Check(pkgs)
+	}
+}
+
+// BenchmarkDataflowStage times only the CFG + def-use analyzers added in
+// the dataflow stage (hot-alloc, wire-compat, atomic-mix), so a regression
+// there is attributable separately from the older module passes.
+func BenchmarkDataflowStage(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewModule(pkgs)
+	stage := []*ModuleAnalyzer{HotAlloc(), WireCompat(), AtomicMix()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range stage {
+			a.Run(m)
+		}
+	}
+}
+
+// TestLintWallTime is the interactivity gate behind `make lint`: one full
+// CheckModule — load, type-check, all three analysis stages — must finish
+// within the budget. The limit is generous against local runs (~2-3s) so
+// only a real complexity regression (e.g. a dataflow fixpoint going
+// quadratic) trips it, not a slow CI runner.
+func TestLintWallTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-time gate skipped in -short")
+	}
+	const budget = 5 * time.Second
+	start := time.Now()
+	if _, err := CheckModule("."); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("make lint equivalent took %v, budget %v — the dataflow stage must stay interactive", elapsed, budget)
 	}
 }

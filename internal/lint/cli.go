@@ -25,28 +25,43 @@ type RunConfig struct {
 	Baseline string
 }
 
-// RunModule loads the module around cfg.Dir, runs the full suite, applies
-// the baseline and the package filter, and returns the live diagnostics,
-// the number of baselined findings, and the module root (for relativizing
-// paths in output).
-func RunModule(cfg RunConfig) (live []Diagnostic, baselined int, root string, err error) {
+// RunResult is one lint run's full outcome.
+type RunResult struct {
+	// Live are the findings the baseline does not cover (exit-1 material).
+	Live []Diagnostic
+	// All is every finding before the baseline subtraction — what
+	// -format=baseline renders as regeneration candidates.
+	All []Diagnostic
+	// Baselined counts the findings the baseline absorbed.
+	Baselined int
+	// Stale lists baseline entries matching no current finding. Only
+	// populated for unfiltered runs: a package filter hides findings that
+	// may legitimately match an entry.
+	Stale []string
+	// Root is the module root, for relativizing paths in output.
+	Root string
+}
+
+// RunModule loads the module around cfg.Dir, runs the full suite, and
+// applies the baseline and the package filter.
+func RunModule(cfg RunConfig) (*RunResult, error) {
 	dir := cfg.Dir
 	if dir == "" {
 		dir = "."
 	}
 	l, err := NewLoader(dir)
 	if err != nil {
-		return nil, 0, "", err
+		return nil, err
 	}
 	pkgs, err := l.LoadModule()
 	if err != nil {
-		return nil, 0, "", err
+		return nil, err
 	}
 	diags := Check(pkgs)
 	if cfg.Filter != "" {
 		diags, err = filterDiags(pkgs, diags, cfg.Filter)
 		if err != nil {
-			return nil, 0, "", err
+			return nil, err
 		}
 	}
 	bpath := cfg.Baseline
@@ -55,10 +70,14 @@ func RunModule(cfg RunConfig) (live []Diagnostic, baselined int, root string, er
 	}
 	b, err := LoadBaseline(bpath)
 	if err != nil {
-		return nil, 0, "", err
+		return nil, err
 	}
-	live, baselined = b.Filter(l.ModuleRoot, diags)
-	return live, baselined, l.ModuleRoot, nil
+	res := &RunResult{All: diags, Root: l.ModuleRoot}
+	res.Live, res.Baselined = b.Filter(l.ModuleRoot, diags)
+	if cfg.Filter == "" {
+		res.Stale = b.Stale(l.ModuleRoot, diags)
+	}
+	return res, nil
 }
 
 // CheckModule loads every package under the module rooted at or above dir
@@ -66,8 +85,11 @@ func RunModule(cfg RunConfig) (live []Diagnostic, baselined int, root string, er
 // error covers load/parse/type failures (exit 2 territory for the CLIs);
 // diagnostics are the live lint findings (exit 1).
 func CheckModule(dir string) ([]Diagnostic, error) {
-	live, _, _, err := RunModule(RunConfig{Dir: dir})
-	return live, err
+	res, err := RunModule(RunConfig{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return res.Live, nil
 }
 
 // filterDiags keeps diagnostics from packages whose import path contains
@@ -98,7 +120,7 @@ func filterDiags(pkgs []*Package, diags []Diagnostic, filter string) ([]Diagnost
 
 // CLIMain is the front-end: parses flags, runs the suite and writes results.
 //
-//	tool [-rules] [-format=text|json|sarif|github] [-baseline=file] [dir] [pkgfilter]
+//	tool [-rules] [-format=text|json|sarif|github|baseline] [-baseline=file] [dir] [pkgfilter]
 //
 // The first positional argument names the module directory when it exists
 // on disk, and is otherwise treated as the package-path filter; with two
@@ -108,7 +130,7 @@ func CLIMain(tool string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.Bool("rules", false, "list the rules and exit")
-	format := fs.String("format", "text", "output format: text, json, sarif or github")
+	format := fs.String("format", "text", "output format: text, json, sarif, github or baseline")
 	baseline := fs.String("baseline", "", "baseline file (default <module root>/"+BaselineFile+")")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,9 +145,9 @@ func CLIMain(tool string, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	switch *format {
-	case "text", "json", "sarif", "github":
+	case "text", "json", "sarif", "github", "baseline":
 	default:
-		fmt.Fprintf(stderr, "%s: unknown format %q (text, json, sarif, github)\n", tool, *format)
+		fmt.Fprintf(stderr, "%s: unknown format %q (text, json, sarif, github, baseline)\n", tool, *format)
 		return 2
 	}
 	cfg := RunConfig{Baseline: *baseline}
@@ -143,11 +165,12 @@ func CLIMain(tool string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "%s: usage: %s [flags] [dir] [pkgfilter]\n", tool, tool)
 		return 2
 	}
-	live, baselined, root, err := RunModule(cfg)
+	res, err := RunModule(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "%s: %v\n", tool, err)
 		return 2
 	}
+	live, root := res.Live, res.Root
 	switch *format {
 	case "text":
 		WriteText(stdout, live)
@@ -163,17 +186,27 @@ func CLIMain(tool string, args []string, stdout, stderr io.Writer) int {
 		}
 	case "github":
 		WriteGitHub(stdout, root, live)
+	case "baseline":
+		// Regeneration mode: render every current finding (including the
+		// already-baselined ones) as lint.baseline candidate lines and exit
+		// 0 — the output is input to a human edit, not a gate.
+		fmt.Fprint(stdout, (&Baseline{}).Render(root, res.All))
+		fmt.Fprintf(stderr, "%s: %d baseline candidate(s)\n", tool, len(res.All))
+		return 0
+	}
+	for _, stale := range res.Stale {
+		fmt.Fprintf(stderr, "%s: warning: stale baseline entry (no finding matches): %s\n", tool, stale)
 	}
 	if len(live) > 0 {
 		fmt.Fprintf(stderr, "%s: %d violation(s)", tool, len(live))
-		if baselined > 0 {
-			fmt.Fprintf(stderr, " (%d more baselined)", baselined)
+		if res.Baselined > 0 {
+			fmt.Fprintf(stderr, " (%d more baselined)", res.Baselined)
 		}
 		fmt.Fprintln(stderr)
 		return 1
 	}
-	if baselined > 0 {
-		fmt.Fprintf(stderr, "%s: clean (%d finding(s) baselined)\n", tool, baselined)
+	if res.Baselined > 0 {
+		fmt.Fprintf(stderr, "%s: clean (%d finding(s) baselined)\n", tool, res.Baselined)
 	}
 	return 0
 }

@@ -55,11 +55,21 @@ func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
 func WriteGitHub(w io.Writer, root string, diags []Diagnostic) {
 	for _, d := range diags {
 		// Workflow-command syntax: properties are comma-separated, the
-		// message follows ::. Newlines in messages must be %0A-escaped.
-		msg := strings.ReplaceAll(fmt.Sprintf("[%s] %s", d.Rule, d.Message), "\n", "%0A")
+		// message follows ::. The runner URL-decodes message data, so a
+		// literal % must become %25 — and must be escaped first, or it
+		// would re-escape the %0A/%0D below. CR before LF, so a CRLF pair
+		// decodes back to CRLF rather than collapsing.
+		msg := githubEscape(fmt.Sprintf("[%s] %s", d.Rule, d.Message))
 		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s\n",
 			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, msg)
 	}
+}
+
+// githubEscape encodes workflow-command message data: %, CR, LF.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	return strings.ReplaceAll(s, "\n", "%0A")
 }
 
 // --- SARIF 2.1.0 ---------------------------------------------------------

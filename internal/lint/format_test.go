@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// Edge cases in the output writers, mostly around workflow-command
+// escaping: GitHub's runner URL-decodes annotation messages, so %, CR and
+// LF must be encoded — and % first, or the escapes themselves get mangled.
+
+func fakeDiag(msg string) Diagnostic {
+	return Diagnostic{
+		Pos:     token.Position{Filename: "/mod/internal/x/x.go", Line: 7, Column: 3},
+		Rule:    "hot-alloc",
+		Message: msg,
+	}
+}
+
+func TestGitHubEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"line one\nline two", "line one%0Aline two"},
+		{"crlf\r\nnext", "crlf%0D%0Anext"},
+		{"n=%d stays literal", "n=%25d stays literal"},
+		// A literal "%0A" in the message must not decode to a newline:
+		// % escapes to %25 first, leaving %250A.
+		{"looks escaped %0A already", "looks escaped %250A already"},
+	}
+	for _, c := range cases {
+		if got := githubEscape(c.in); got != c.want {
+			t.Errorf("githubEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteGitHubMultiline(t *testing.T) {
+	var buf bytes.Buffer
+	WriteGitHub(&buf, "/mod", []Diagnostic{fakeDiag("first line\nsecond line with 50%")})
+	out := buf.String()
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("annotation must be one line, got %q", out)
+	}
+	want := "::error file=internal/x/x.go,line=7,col=3::[hot-alloc] first line%0Asecond line with 50%25\n"
+	if out != want {
+		t.Errorf("got  %q\nwant %q", out, want)
+	}
+}
+
+func TestWriteJSONEscapesNothing(t *testing.T) {
+	// JSON gets raw messages: escaping is the decoder's job there.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", []Diagnostic{fakeDiag("a\nb %0A c")}); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Message != "a\nb %0A c" {
+		t.Errorf("round-trip mangled the message: %+v", got)
+	}
+	if got[0].File != "internal/x/x.go" {
+		t.Errorf("file = %q, want module-relative path", got[0].File)
+	}
+}
+
+func TestSARIFCoversDataflowRules(t *testing.T) {
+	// The named CI lint job uploads SARIF; the dataflow-stage analyzers
+	// must ship rule metadata there or code scanning drops their results.
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, rule := range []string{"hot-alloc", "wire-compat", "atomic-mix", "lint-directive"} {
+		if !strings.Contains(out, `"id": "`+rule+`"`) {
+			t.Errorf("SARIF driver rules missing %q", rule)
+		}
+	}
+}
+
+func TestBaselineRenderAndStale(t *testing.T) {
+	d := fakeDiag("map allocation (make) in hot-path function f (//cscw:hotpath)")
+	rendered := (&Baseline{}).Render("/mod", []Diagnostic{d})
+	wantLine := "internal/x/x.go: [hot-alloc] map allocation (make) in hot-path function f (//cscw:hotpath)"
+	if rendered != wantLine+"\n" {
+		t.Errorf("Render = %q, want %q", rendered, wantLine+"\n")
+	}
+
+	b := &Baseline{keys: map[string]bool{
+		wantLine: true,
+		"internal/gone.go: [hot-alloc] finding that was fixed": true,
+	}}
+	live, baselined := b.Filter("/mod", []Diagnostic{d})
+	if len(live) != 0 || baselined != 1 {
+		t.Fatalf("Filter: live=%d baselined=%d, want 0/1", len(live), baselined)
+	}
+	stale := b.Stale("/mod", []Diagnostic{d})
+	if len(stale) != 1 || stale[0] != "internal/gone.go: [hot-alloc] finding that was fixed" {
+		t.Errorf("Stale = %q, want the fixed entry only", stale)
+	}
+}

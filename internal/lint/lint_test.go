@@ -29,6 +29,9 @@ var fixtures = []struct {
 	{"lifeleak", "repro/internal/transport"},
 	{"guard", "repro/internal/fixture/guard"},
 	{"lockedge", "repro/internal/fixture/lockedge"},
+	{"hotalloc", "repro/internal/fixture/hotalloc"},
+	{"wirecompat", "repro/internal/fixture/wirecompat"},
+	{"atomicmix", "repro/internal/fixture/atomicmix"},
 }
 
 func TestFixtures(t *testing.T) {

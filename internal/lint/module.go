@@ -132,6 +132,9 @@ func ModuleAnalyzers() []*ModuleAnalyzer {
 		LockOrder(),
 		LifeLeak(),
 		GuardInfer(),
+		HotAlloc(),
+		WireCompat(),
+		AtomicMix(),
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package atomicmix exercises the atomic-mix analyzer: a field accessed
+// through sync/atomic anywhere in the module must never be read or written
+// plainly elsewhere. The reaching-definitions engine exempts owner-local
+// instances — but only while every definition reaching the access is a
+// fresh allocation.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	safe atomic.Uint64
+}
+
+// bump is the atomic witness for counter.hits. The atomic.Uint64 field
+// needs no rule: its only access path is already atomic.
+func bump(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+	c.safe.Add(1)
+}
+
+func report(c *counter) uint64 {
+	return c.hits // want "field atomicmix.counter.hits is accessed via atomic.AddUint64 .* but read plainly"
+}
+
+func reset(c *counter) {
+	c.hits = 0 // want "written plainly"
+}
+
+// fresh only ever sees its own brand-new instance: every reaching
+// definition of c is a fresh allocation, so plain access is exempt.
+func fresh() uint64 {
+	c := &counter{}
+	c.hits = 7
+	return c.hits
+}
+
+// rebound starts owner-local but rebinds c to a shared instance: the write
+// before the rebind is exempt, the read after it is not.
+func rebound(shared *counter) uint64 {
+	c := &counter{}
+	c.hits = 1
+	c = shared
+	return c.hits // want "read plainly"
+}

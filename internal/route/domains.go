@@ -103,7 +103,10 @@ func (ds *DomainSet) InstallViews(viewID uint64, nodes []string) {
 
 // Multicast routes body to doc's ordering domain. Ordering holds per
 // domain: two documents on different shards have independent sequences.
+//
+//cscw:hotpath
 func (ds *DomainSet) Multicast(doc string, body any, size int) error {
+	//lint:ignore hot-alloc one Tagged wrapper boxed per multicast is the documented cost of carrying the doc key on the wire
 	return ds.members[ds.cfg.Router.Shard(doc)].Multicast(Tagged{Doc: doc, Body: body}, size)
 }
 
