@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all check build vet lint lint-baseline test race bench bench-json chaos experiments examples cover fuzz-smoke
+.PHONY: all check build vet lint lint-baseline test race bench bench-json chaos chaos-scale experiments examples cover fuzz-smoke
 
 all: check
 
@@ -54,6 +54,13 @@ chaos:
 	go test -race ./internal/chaos
 	go test -race ./internal/chaos -chaos.seed=11
 	go test -race ./internal/chaos -chaos.seed=23
+
+# The scale scenarios (federation-crdt-wan, conference-floor-storm,
+# flash-crowd-join-leave) at full node counts: CHAOS_SCALE=1 disables the
+# divisor that keeps the regular matrix (and CI) at ~1/10th size.
+chaos-scale:
+	CHAOS_SCALE=1 go test ./internal/chaos
+	CHAOS_SCALE=1 go test ./internal/chaos -chaos.seed=11
 
 # Short coverage-guided fuzz pass over every Fuzz* target (the checked-in
 # seed corpora always run in plain `make test`; this explores beyond them).

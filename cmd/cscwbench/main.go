@@ -96,6 +96,20 @@ func run(args []string) error {
 		add("fabric_hub_send_recv_binary", hubSendRecv(fabric.NewBinaryCodec(reg)))
 	}
 
+	// Topology-engine scale rows: the send+deliver hot path and the cut-set
+	// partition at growing node counts, then the 10k-node acceptance drill
+	// (1M events through a mid-stream partition/heal) as one timed op.
+	add("netsim_scale_100", bench.NetsimScaleBench(100, *seed))
+	add("netsim_scale_1k", bench.NetsimScaleBench(1_000, *seed))
+	if !*quick {
+		add("netsim_scale_10k", bench.NetsimScaleBench(10_000, *seed))
+		add("netsim_partition_10k", bench.NetsimPartitionBench(10_000, *seed))
+		fmt.Fprintln(os.Stderr, "bench netsim_drain_10k_1m...")
+		drain := rep.Add("netsim_drain_10k_1m", 1_000_000, bench.NetsimDrainBench(10_000, 1_000_000, *seed))
+		fmt.Fprintf(os.Stderr, "  %d iters, %.0f ns/op, %.0f events/sec\n",
+			drain.Iters, drain.NsPerOp, drain.MsgsPerSec)
+	}
+
 	// Virtual-time latency profiles for the ordering hot path: batching
 	// trades window latency for throughput; the report carries both sides.
 	samples := 256

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// netsimScaleWorld builds the topology engine's reference scale rig: nodes
+// split across two regions (east/west) with a LAN class inside each region
+// and a WAN class across, no per-pair link state at all. Every node gets a
+// no-op handler so deliveries exercise the full dispatch path.
+func netsimScaleWorld(nodes int, seed int64) (*netsim.Sim, []netsim.NodeID) {
+	sim := netsim.New(seed, netsim.LANLink)
+	east := sim.Region("east")
+	west := sim.Region("west")
+	sim.SetRegionLink(east, east, netsim.LANLink)
+	sim.SetRegionLink(west, west, netsim.LANLink)
+	sim.SetRegionBiLink(east, west, netsim.WANLink)
+	handles := make([]netsim.NodeID, nodes)
+	handler := func(m netsim.Msg) {}
+	for i := range handles {
+		r := east
+		if i >= nodes/2 {
+			r = west
+		}
+		n := sim.MustAddNodeAt(r, fmt.Sprintf("n%05d", i))
+		n.SetHandler(handler)
+		handles[i] = n.Handle()
+	}
+	return sim, handles
+}
+
+// NetsimScaleBench returns a benchmark function measuring the simulator's
+// event hot path at the given node count: each op is one SendID over the
+// two-region world (mostly intra-region ring traffic, every 16th message
+// crossing the WAN) with the queue drained in chunks inside the timed
+// region — so ns/op is the full send+schedule+deliver cost and allocs/op
+// shows the event pool doing its job.
+func NetsimScaleBench(nodes int, seed int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		sim, handles := netsimScaleWorld(nodes, seed)
+		n := len(handles)
+		// Warm the event pool and the per-pair bandwidth map.
+		for i := 0; i < n; i++ {
+			_ = sim.SendID(handles[i], handles[(i+1)%n], nil, 64)
+		}
+		sim.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := handles[i%n]
+			dst := handles[(i+1)%n]
+			if i%16 == 0 {
+				dst = handles[(i+n/2)%n] // cross-region hop
+			}
+			_ = sim.SendID(src, dst, nil, 64)
+			if i%1024 == 1023 {
+				sim.Run()
+			}
+		}
+		sim.Run()
+		b.StopTimer()
+		if sim.Delivered() == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
+// NetsimPartitionBench returns a benchmark measuring Partition+Heal of the
+// two halves of an n-node world — the operation that used to materialize
+// O(|A|x|B|) per-pair overrides and now installs two epoch-tagged cut-set
+// predicates. allocs/op is the headline number.
+func NetsimPartitionBench(nodes int, seed int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		sim, _ := netsimScaleWorld(nodes, seed)
+		east := make([]string, 0, nodes/2)
+		west := make([]string, 0, nodes-nodes/2)
+		for i := 0; i < nodes; i++ {
+			id := fmt.Sprintf("n%05d", i)
+			if i < nodes/2 {
+				east = append(east, id)
+			} else {
+				west = append(west, id)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Partition(east, west)
+			sim.Heal(east, west)
+		}
+	}
+}
+
+// NetsimDrainBench returns a benchmark whose single op is the acceptance
+// drill end to end: build the n-node two-region world, inject total
+// messages of ring + cross-region traffic, partition and heal the
+// hemispheres mid-stream, drain everything. ns/op is the whole-drill
+// wall-clock; pass total as msgsPerOp to Report.Add to get events/sec.
+func NetsimDrainBench(nodes, total int, seed int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for iter := 0; iter < b.N; iter++ {
+			sim, handles := netsimScaleWorld(nodes, seed)
+			n := len(handles)
+			east := make([]string, 0, n/2)
+			west := make([]string, 0, n-n/2)
+			for i := 0; i < n; i++ {
+				id := fmt.Sprintf("n%05d", i)
+				if i < n/2 {
+					east = append(east, id)
+				} else {
+					west = append(west, id)
+				}
+			}
+			for i := 0; i < total; i++ {
+				src := handles[i%n]
+				dst := handles[(i+1)%n]
+				if i%16 == 0 {
+					dst = handles[(i+n/2)%n]
+				}
+				_ = sim.SendID(src, dst, nil, 64)
+				switch {
+				case i == total/3:
+					sim.Partition(east, west)
+				case i == 2*total/3:
+					sim.Heal(east, west)
+				case i%4096 == 4095:
+					sim.Run()
+				}
+			}
+			sim.Run()
+			if sim.Delivered() == 0 {
+				b.Fatal("nothing delivered")
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestNetsimScaleWorldBuilds smoke-tests the scale rig: both regions wired,
+// cross-region traffic deliverable, handles dense.
+func TestNetsimScaleWorldBuilds(t *testing.T) {
+	sim, handles := netsimScaleWorld(64, 1)
+	if len(handles) != 64 {
+		t.Fatalf("got %d handles, want 64", len(handles))
+	}
+	if err := sim.SendID(handles[0], handles[63], nil, 64); err != nil {
+		t.Fatalf("cross-region send: %v", err)
+	}
+	sim.Run()
+	if sim.Delivered() != 1 {
+		t.Fatalf("delivered %d, want 1", sim.Delivered())
+	}
+}
+
+// BenchmarkNetsimScale measures the topology engine's send+deliver hot path
+// at growing node counts (the BENCH_<date>.json netsim_scale rows).
+func BenchmarkNetsimScale(b *testing.B) {
+	b.Run("n100", NetsimScaleBench(100, 1))
+	b.Run("n1k", NetsimScaleBench(1_000, 1))
+	b.Run("n10k", NetsimScaleBench(10_000, 1))
+}
+
+// BenchmarkNetsimPartition10k measures the cut-set Partition+Heal of a
+// 10k-node world: allocs/op is the headline (formerly O(|A|x|B|)).
+func BenchmarkNetsimPartition10k(b *testing.B) {
+	NetsimPartitionBench(10_000, 1)(b)
+}

@@ -35,6 +35,7 @@ func runPartitionCRDTConverge(w *World) {
 	codec := fabric.NewBinaryCodec(engine.NewWireCodec())
 	docs := make(map[string]engine.Doc, len(ids))
 	eps := make(map[string]fabric.Endpoint, len(ids))
+	w.Topo().Named(ids...)
 	for _, id := range ids {
 		d, err := engine.New(engine.CRDT, "doc", id, "")
 		if err != nil {
@@ -166,57 +167,43 @@ func runReorderLossCRDTSet(w *World) {
 
 	sets := make(map[string]*crdt.Set, len(ids))
 	ctrs := make(map[string]*crdt.Counter, len(ids))
-	members := make(map[string]*group.Member, len(ids))
 	// The oracle replica sits off the network and applies every op the
 	// moment it is generated — the state the group must converge to.
 	oracleSet := crdt.NewSet("oracle")
 	oracleCtr := crdt.NewCounter("oracle")
 
 	for _, id := range ids {
-		id := id
 		sets[id] = crdt.NewSet(id)
 		ctrs[id] = crdt.NewCounter(id)
-		m, err := group.NewMember(group.Config{
-			Endpoint: w.Endpoint(id),
-			Timer:    simTimer{w},
-			Ordering: group.Unordered,
-			Deliver: func(d group.Delivery) {
-				switch b := d.Body.(type) {
-				case *crdt.MsgOp:
-					var err error
-					switch b.Op.Kind {
-					case crdt.OpSetAdd, crdt.OpSetRemove:
-						err = sets[id].Apply(b.Op)
-					case crdt.OpCtrAdd:
-						err = ctrs[id].Apply(b.Op)
-					}
-					if err != nil {
-						w.Violatef("set-convergence", "%s applying %v from %s: %v", id, b.Op.Kind, d.From, err)
-					}
-				case *crdt.MsgState:
-					if b.Set != nil {
-						sets[id].MergeState(b.Set)
-					}
-					if b.Ctr != nil {
-						ctrs[id].MergeState(b.Ctr)
-					}
+	}
+	top := w.Topo()
+	top.FullMesh(adverse, ids...)
+	members := top.Members(ids, group.Unordered, group.BatchConfig{}, func(id string) func(group.Delivery) {
+		return func(d group.Delivery) {
+			switch b := d.Body.(type) {
+			case *crdt.MsgOp:
+				var err error
+				switch b.Op.Kind {
+				case crdt.OpSetAdd, crdt.OpSetRemove:
+					err = sets[id].Apply(b.Op)
+				case crdt.OpCtrAdd:
+					err = ctrs[id].Apply(b.Op)
 				}
-			},
-		})
-		if err != nil {
-			w.Violatef("setup", "member %s: %v", id, err)
-			return
+				if err != nil {
+					w.Violatef("set-convergence", "%s applying %v from %s: %v", id, b.Op.Kind, d.From, err)
+				}
+			case *crdt.MsgState:
+				if b.Set != nil {
+					sets[id].MergeState(b.Set)
+				}
+				if b.Ctr != nil {
+					ctrs[id].MergeState(b.Ctr)
+				}
+			}
 		}
-		members[id] = m
-	}
-	for i, a := range ids {
-		for _, b := range ids[i+1:] {
-			w.Sim.SetBiLink(a, b, adverse)
-		}
-	}
-	view := group.NewView(1, ids)
-	for _, id := range ids {
-		members[id].InstallView(view)
+	})
+	if members == nil {
+		return
 	}
 
 	// Every generated op reaches the oracle instantly and the group via

@@ -94,26 +94,13 @@ func runPartitionHealGroup(w *World) {
 	ids := []string{"g1", "g2", "g3", "g4"}
 	const msgs = 10
 	deliv := make(map[string][]string)
-	members := make(map[string]*group.Member)
-	for _, id := range ids {
-		id := id
-		m, err := group.NewMember(group.Config{
-			Endpoint: w.Endpoint(id),
-			Timer:    simTimer{w},
-			Ordering: group.FIFO,
-			Deliver: func(d group.Delivery) {
-				deliv[id] = append(deliv[id], fmt.Sprintf("%s:%v", d.From, d.Body))
-			},
-		})
-		if err != nil {
-			w.Violatef("setup", "member %s: %v", id, err)
-			return
+	members := w.Topo().Members(ids, group.FIFO, group.BatchConfig{}, func(id string) func(group.Delivery) {
+		return func(d group.Delivery) {
+			deliv[id] = append(deliv[id], fmt.Sprintf("%s:%v", d.From, d.Body))
 		}
-		members[id] = m
-	}
-	view := group.NewView(1, ids)
-	for _, id := range ids {
-		members[id].InstallView(view)
+	})
+	if members == nil {
+		return
 	}
 	for i := 0; i < msgs; i++ {
 		i := i
@@ -179,24 +166,15 @@ func runCrashRestartSession(w *World) {
 	// Zero-jitter links: the session layer's client-side dedup assumes
 	// same-pair FIFO delivery (a gap-skipping lastSeq), which jitter breaks.
 	clean := netsim.Link{Latency: time.Millisecond, Bandwidth: 1_250_000}
-	hostEp := w.Endpoint("host")
-	for _, id := range clients {
-		w.Endpoint(id)
-		w.Sim.SetBiLink("host", id, clean)
-	}
-	clock := func() time.Duration { return w.Sim.Now() }
-	h := session.NewHost(hostEp, session.Synchronous, clock)
+	h, cls := w.Topo().Session("host", session.Synchronous, clean, clean, clients...)
 	var hostItems []session.Item
 	h.OnItem = func(it session.Item) { hostItems = append(hostItems, it) }
-	cls := make(map[string]*session.Client)
 	got := make(map[string][]string)
 	for _, id := range clients {
 		id := id
-		c := session.NewClient(w.Endpoint(id), "host")
-		c.OnItem = func(it session.Item) {
+		cls[id].OnItem = func(it session.Item) {
 			got[id] = append(got[id], fmtItem(it))
 		}
-		cls[id] = c
 	}
 	for i, id := range clients {
 		id := id
@@ -281,11 +259,8 @@ func runLossResyncOT(w *World) {
 	sites := []string{"ot-a", "ot-b", "ot-c"}
 	const opsPerSite = 8
 	lossy := netsim.Link{Latency: time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.2, Bandwidth: 1_250_000}
+	w.Topo().Star("doc-server", lossy, lossy, sites...)
 	srvEp := w.Endpoint("doc-server")
-	for _, s := range sites {
-		w.Endpoint(s)
-		w.Sim.SetBiLink("doc-server", s, lossy)
-	}
 	srv := ot.NewServer("base:")
 	var history []ot.Committed
 	lastSeq := make(map[string]uint64)
@@ -423,34 +398,16 @@ func runReorderTotalOrder(w *World) {
 		Latency: time.Millisecond, Jitter: time.Millisecond,
 		Reorder: 0.3, ReorderDelay: 4 * time.Millisecond, Bandwidth: 1_250_000,
 	}
-	for i, a := range ids {
-		w.Endpoint(a)
-		for _, b := range ids[i+1:] {
-			w.Endpoint(b)
-			w.Sim.SetBiLink(a, b, link)
-		}
-	}
+	top := w.Topo()
+	top.FullMesh(link, ids...)
 	deliv := make(map[string][]string)
-	members := make(map[string]*group.Member)
-	for _, id := range ids {
-		id := id
-		m, err := group.NewMember(group.Config{
-			Endpoint: w.Endpoint(id),
-			Timer:    simTimer{w},
-			Ordering: group.TotalSequencer,
-			Deliver: func(d group.Delivery) {
-				deliv[id] = append(deliv[id], fmt.Sprintf("%03d:%s:%v", d.Seq, d.From, d.Body))
-			},
-		})
-		if err != nil {
-			w.Violatef("setup", "member %s: %v", id, err)
-			return
+	members := top.Members(ids, group.TotalSequencer, group.BatchConfig{}, func(id string) func(group.Delivery) {
+		return func(d group.Delivery) {
+			deliv[id] = append(deliv[id], fmt.Sprintf("%03d:%s:%v", d.Seq, d.From, d.Body))
 		}
-		members[id] = m
-	}
-	view := group.NewView(1, ids)
-	for _, id := range ids {
-		members[id].InstallView(view)
+	})
+	if members == nil {
+		return
 	}
 	for i := 0; i < msgs; i++ {
 		i := i
@@ -499,13 +456,8 @@ func runReorderLossBatchedOrder(w *World) {
 	}
 	lossyLink := link
 	lossyLink.Loss = 0.4
-	for i, a := range ids {
-		w.Endpoint(a)
-		for _, b := range ids[i+1:] {
-			w.Endpoint(b)
-			w.Sim.SetBiLink(a, b, link)
-		}
-	}
+	top := w.Topo()
+	top.FullMesh(link, ids...)
 
 	type entry struct {
 		seq   uint64
@@ -513,32 +465,18 @@ func runReorderLossBatchedOrder(w *World) {
 		batch string // "from/wNN": the wire batch this delivery belongs to
 	}
 	deliv := make(map[string][]entry)
-	members := make(map[string]*group.Member)
-	for _, id := range ids {
-		id := id
-		m, err := group.NewMember(group.Config{
-			Endpoint: w.Endpoint(id),
-			Timer:    simTimer{w},
-			Ordering: group.TotalSequencer,
-			Batch:    group.BatchConfig{MaxMsgs: burstMsgs},
-			Deliver: func(d group.Delivery) {
-				body := fmt.Sprintf("%v", d.Body)
-				deliv[id] = append(deliv[id], entry{
-					seq:   d.Seq,
-					event: fmt.Sprintf("%03d:%s:%s", d.Seq, d.From, body),
-					batch: d.From + "/" + body[:3], // body is "wNN-mK"
-				})
-			},
-		})
-		if err != nil {
-			w.Violatef("setup", "member %s: %v", id, err)
-			return
+	members := top.Members(ids, group.TotalSequencer, group.BatchConfig{MaxMsgs: burstMsgs}, func(id string) func(group.Delivery) {
+		return func(d group.Delivery) {
+			body := fmt.Sprintf("%v", d.Body)
+			deliv[id] = append(deliv[id], entry{
+				seq:   d.Seq,
+				event: fmt.Sprintf("%03d:%s:%s", d.Seq, d.From, body),
+				batch: d.From + "/" + body[:3], // body is "wNN-mK"
+			})
 		}
-		members[id] = m
-	}
-	view := group.NewView(1, ids)
-	for _, id := range ids {
-		members[id].InstallView(view)
+	})
+	if members == nil {
+		return
 	}
 
 	// Bursts before, during, and after the loss window. The tail burst is
@@ -640,34 +578,22 @@ func runStallCausalGroup(w *World) {
 	ids := []string{"c1", "c2", "c3"}
 	const rounds = 3
 	deliv := make(map[string][]string)
-	members := make(map[string]*group.Member)
 	w.Stall("c3").Hold(10 * time.Millisecond)
-	for _, id := range ids {
-		id := id
-		m, err := group.NewMember(group.Config{
-			Endpoint: w.Endpoint(id),
-			Timer:    simTimer{w},
-			Ordering: group.Causal,
-			Deliver: func(d group.Delivery) {
-				deliv[id] = append(deliv[id], fmt.Sprintf("%s:%v", d.From, d.Body))
-				// c2 answers every question it sees: the answer is causally
-				// after the question, whatever the network does.
-				if s, ok := d.Body.(string); ok && id == "c2" && d.From == "c1" && strings.HasPrefix(s, "q") {
-					if err := members["c2"].Multicast("a"+s[1:], 16); err != nil {
-						w.Logf("answer %s partial: %v", s, err)
-					}
+	var members map[string]*group.Member
+	members = w.Topo().Members(ids, group.Causal, group.BatchConfig{}, func(id string) func(group.Delivery) {
+		return func(d group.Delivery) {
+			deliv[id] = append(deliv[id], fmt.Sprintf("%s:%v", d.From, d.Body))
+			// c2 answers every question it sees: the answer is causally
+			// after the question, whatever the network does.
+			if s, ok := d.Body.(string); ok && id == "c2" && d.From == "c1" && strings.HasPrefix(s, "q") {
+				if err := members["c2"].Multicast("a"+s[1:], 16); err != nil {
+					w.Logf("answer %s partial: %v", s, err)
 				}
-			},
-		})
-		if err != nil {
-			w.Violatef("setup", "member %s: %v", id, err)
-			return
+			}
 		}
-		members[id] = m
-	}
-	view := group.NewView(1, ids)
-	for _, id := range ids {
-		members[id].InstallView(view)
+	})
+	if members == nil {
+		return
 	}
 	for r := 0; r < rounds; r++ {
 		r := r
@@ -844,23 +770,13 @@ func runSessionModeChurn(w *World) {
 	clean := netsim.Link{Latency: time.Millisecond, Bandwidth: 1_250_000}
 	lossyUp := clean
 	lossyUp.Loss = 0.25
-	hostEp := w.Endpoint("host")
-	for _, id := range clients {
-		w.Endpoint(id)
-		w.Sim.SetLink(id, "host", lossyUp)
-		w.Sim.SetLink("host", id, clean)
-	}
-	clock := func() time.Duration { return w.Sim.Now() }
-	h := session.NewHost(hostEp, session.Synchronous, clock)
+	h, cls := w.Topo().Session("host", session.Synchronous, lossyUp, clean, clients...)
 	var hostItems []session.Item
 	h.OnItem = func(it session.Item) { hostItems = append(hostItems, it) }
-	cls := make(map[string]*session.Client)
 	got := make(map[string][]string)
 	for _, id := range clients {
 		id := id
-		c := session.NewClient(w.Endpoint(id), "host")
-		c.OnItem = func(it session.Item) { got[id] = append(got[id], fmtItem(it)) }
-		cls[id] = c
+		cls[id].OnItem = func(it session.Item) { got[id] = append(got[id], fmtItem(it)) }
 	}
 	for _, mode := range []struct {
 		at int
@@ -965,26 +881,13 @@ func runInducedDropBlindness(w *World) {
 	const msgs = 20
 	w.Faults("b1").DropProb(0.5)
 	deliv := make(map[string][]string)
-	members := make(map[string]*group.Member)
-	for _, id := range ids {
-		id := id
-		m, err := group.NewMember(group.Config{
-			Endpoint: w.Endpoint(id),
-			Timer:    simTimer{w},
-			Ordering: group.Unordered,
-			Deliver: func(d group.Delivery) {
-				deliv[id] = append(deliv[id], fmt.Sprintf("%s:%v", d.From, d.Body))
-			},
-		})
-		if err != nil {
-			w.Violatef("setup", "member %s: %v", id, err)
-			return
+	members := w.Topo().Members(ids, group.Unordered, group.BatchConfig{}, func(id string) func(group.Delivery) {
+		return func(d group.Delivery) {
+			deliv[id] = append(deliv[id], fmt.Sprintf("%s:%v", d.From, d.Body))
 		}
-		members[id] = m
-	}
-	view := group.NewView(1, ids)
-	for _, id := range ids {
-		members[id].InstallView(view)
+	})
+	if members == nil {
+		return
 	}
 	for i := 0; i < msgs; i++ {
 		i := i

@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// Topology is the world's topology builder: the one place scenarios create
+// nodes, wire link shapes (mesh, star, region-backed clusters) and stand up
+// the common protocol stacks (group members, session host+clients). Before
+// it existed every scenario hand-rolled the same endpoint/link/member
+// loops; now the shapes are named and the scenario body is the script.
+type Topology struct{ w *World }
+
+// Topo returns the world's topology builder.
+func (w *World) Topo() *Topology { return &Topology{w: w} }
+
+// Named ensures an endpoint exists for each id and returns the ids.
+func (t *Topology) Named(ids ...string) []string {
+	for _, id := range ids {
+		t.w.Endpoint(id)
+	}
+	return ids
+}
+
+// Nodes creates endpoints for n prefix-numbered ids and returns them.
+func (t *Topology) Nodes(prefix string, n int) []string {
+	return t.Named(workload.Users(prefix, n)...)
+}
+
+// FullMesh ensures endpoints and installs the link on every directed pair.
+func (t *Topology) FullMesh(link netsim.Link, ids ...string) []string {
+	t.Named(ids...)
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			t.w.Sim.SetBiLink(a, b, link)
+		}
+	}
+	return ids
+}
+
+// Star ensures endpoints and wires each leaf to the center: up is the
+// leaf→center link, down the center→leaf link.
+func (t *Topology) Star(center string, up, down netsim.Link, leaves ...string) {
+	t.w.Endpoint(center)
+	for _, id := range leaves {
+		t.w.Endpoint(id)
+		t.w.Sim.SetLink(id, center, up)
+		t.w.Sim.SetLink(center, id, down)
+	}
+}
+
+// Cluster is a region-backed set of nodes sharing one intra-region link
+// class — the scalable shape: no per-pair link state however many nodes.
+type Cluster struct {
+	Name   string
+	Region netsim.RegionID
+	IDs    []string
+}
+
+// Gateway is the cluster's designated bridge node (its first member).
+func (c *Cluster) Gateway() string { return c.IDs[0] }
+
+// Cluster creates a named region holding n prefix-numbered nodes whose
+// intra-region traffic uses the given link class.
+func (t *Topology) Cluster(name, prefix string, n int, intra netsim.Link) *Cluster {
+	r := t.w.Sim.Region(name)
+	t.w.Sim.SetRegionLink(r, r, intra)
+	c := &Cluster{Name: name, Region: r, IDs: workload.Users(prefix, n)}
+	for _, id := range c.IDs {
+		t.w.EndpointAt(r, id)
+	}
+	return c
+}
+
+// In adds one extra node to a cluster's region (e.g. an arbiter or host
+// living inside the same LAN) and returns its id.
+func (t *Topology) In(c *Cluster, id string) string {
+	t.w.EndpointAt(c.Region, id)
+	c.IDs = append(c.IDs, id)
+	return id
+}
+
+// Isolate severs direct traffic between two clusters' regions (both
+// directions): only explicit pair overrides — bridges — connect them.
+func (t *Topology) Isolate(a, b *Cluster) {
+	down := netsim.Link{Down: true}
+	t.w.Sim.SetRegionBiLink(a.Region, b.Region, down)
+}
+
+// Bridge wires the two clusters' gateways together with an explicit pair
+// override — the single WAN pipe between otherwise isolated LANs.
+func (t *Topology) Bridge(a, b *Cluster, link netsim.Link) (gwA, gwB string) {
+	gwA, gwB = a.Gateway(), b.Gateway()
+	t.w.Sim.SetBiLink(gwA, gwB, link)
+	return gwA, gwB
+}
+
+// Members builds one group.Member per id on the world's endpoints and
+// installs the initial view over all of them. deliver is called once per
+// id to produce that member's delivery callback. Setup failure records a
+// violation and returns nil.
+func (t *Topology) Members(ids []string, ordering group.Ordering, batch group.BatchConfig, deliver func(id string) func(group.Delivery)) map[string]*group.Member {
+	members := make(map[string]*group.Member, len(ids))
+	for _, id := range ids {
+		m, err := group.NewMember(group.Config{
+			Endpoint: t.w.Endpoint(id),
+			Timer:    simTimer{t.w},
+			Ordering: ordering,
+			Batch:    batch,
+			Deliver:  deliver(id),
+		})
+		if err != nil {
+			t.w.Violatef("setup", "member %s: %v", id, err)
+			return nil
+		}
+		members[id] = m
+	}
+	view := group.NewView(1, ids)
+	for _, id := range ids {
+		members[id].InstallView(view)
+	}
+	return members
+}
+
+// Session builds a session host and one client per id, star-wired with the
+// given up (client→host) and down (host→client) links. Pass zero-value
+// links to leave the topology alone (e.g. when a cluster's region class
+// already covers the traffic).
+func (t *Topology) Session(host string, mode session.Mode, up, down netsim.Link, clientIDs ...string) (*session.Host, map[string]*session.Client) {
+	var zero netsim.Link
+	if up != zero || down != zero {
+		t.Star(host, up, down, clientIDs...)
+	} else {
+		t.Named(host)
+		t.Named(clientIDs...)
+	}
+	h := session.NewHost(t.w.Endpoint(host), mode, func() time.Duration { return t.w.Sim.Now() })
+	cls := make(map[string]*session.Client, len(clientIDs))
+	for _, id := range clientIDs {
+		cls[id] = session.NewClient(t.w.Endpoint(id), host)
+	}
+	return h, cls
+}
+
+// scaleDiv is the divisor applied to the scale scenarios' node counts. The
+// CHAOS_SCALE environment variable sets it ("1" = full scale); the default
+// of 10 keeps the CI matrix inside its time budget (`make chaos-scale`
+// runs the full-size worlds). The value is constant for a whole process,
+// so per-seed trace determinism is unaffected.
+func scaleDiv() int {
+	if v := os.Getenv("CHAOS_SCALE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 10
+}
+
+// scaled shrinks a full-scale count by the scale divisor, with a floor
+// that keeps the reduced scenario meaningful.
+func scaled(full, min int) int {
+	n := full / scaleDiv()
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// sized logs the effective scale so a trace records which world it ran in.
+func (t *Topology) sized(what string, n, full int) int {
+	if n != full {
+		t.w.Logf("scale: %s=%d (full %d, CHAOS_SCALE divisor %d)", what, n, full, scaleDiv())
+	} else {
+		t.w.Logf("scale: %s=%d (full)", what, n)
+	}
+	return n
+}

@@ -78,11 +78,18 @@ func (w *World) Violatef(invariant, format string, args ...any) {
 // The per-node fault injector's randomness derives deterministically from
 // the world seed and the node name.
 func (w *World) Endpoint(id string) fabric.Endpoint {
+	return w.EndpointAt(netsim.DefaultRegion, id)
+}
+
+// EndpointAt is Endpoint with the node placed in a topology region (see
+// the Topology builder's Cluster). The region only matters on first use;
+// later calls return the existing endpoint wherever it lives.
+func (w *World) EndpointAt(r netsim.RegionID, id string) fabric.Endpoint {
 	if nc, ok := w.nodes[id]; ok {
 		return nc.ep
 	}
 	nc := &nodeChain{id: id}
-	nc.base = fabric.FromSim(w.Sim.MustAddNode(id))
+	nc.base = fabric.FromSim(w.Sim.MustAddNodeAt(r, id))
 	h := fnv.New64a()
 	h.Write([]byte(id))
 	nc.faults = fabric.NewFaults(w.Seed ^ int64(h.Sum64())).

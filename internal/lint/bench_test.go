@@ -72,6 +72,12 @@ func TestLintWallTime(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-time gate skipped in -short")
 	}
+	if raceEnabled {
+		// The budget gates interactive `make lint`, which never runs under
+		// the race detector; instrumented runs are 4-5x slower and would
+		// only measure the instrumentation.
+		t.Skip("wall-time gate skipped under -race")
+	}
 	const budget = 5 * time.Second
 	start := time.Now()
 	if _, err := CheckModule("."); err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package lint
+
+// raceEnabled reports whether the race detector is compiled in (see
+// norace_test.go for the other half).
+const raceEnabled = true

@@ -10,6 +10,15 @@
 // The simulator is single-threaded: all handlers run on the goroutine that
 // calls Run/RunUntil/Step, in timestamp order (ties broken by insertion
 // order), so no locking is needed inside handlers.
+//
+// Topology scales past toy worlds: nodes carry dense integer handles
+// (NodeID) indexing slice state, links resolve through a three-tier
+// hierarchy (explicit pair override → region-pair link class → simulator
+// default, see topology.go), and partitions are epoch-tagged cut-set
+// predicates rather than per-pair state. A 10k-node two-region world is a
+// node slice plus a handful of link descriptors. String IDs remain the
+// public addressing scheme; the handles are an optimization layer that
+// hot callers (benchmarks, bulk workloads) may use directly via SendID.
 package netsim
 
 import (
@@ -67,10 +76,25 @@ var (
 	LocalLink = Link{Latency: 50 * time.Microsecond}
 )
 
+// Event kinds. Deliveries are typed events carrying their fields inline
+// rather than closures: a closure per Send would allocate (and box the
+// payload twice); a typed event is poolable.
+const (
+	evFunc uint8 = iota
+	evDeliver
+)
+
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	kind uint8
+	// evFunc
+	fn func()
+	// evDeliver
+	from, to NodeID
+	payload  any
+	size     int
+	sentAt   time.Duration
 }
 
 type eventQueue []*event
@@ -93,43 +117,78 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-type linkKey struct{ from, to string }
-
-type linkState struct {
-	link      Link
-	busyUntil time.Duration // FIFO serialization point for bandwidth modelling
-}
-
 // Node is a simulated host. Nodes send messages through the simulator and
 // receive them via a registered handler.
 type Node struct {
 	id      string
+	nid     NodeID
+	region  RegionID
 	sim     *Sim
 	handler Handler
+	crashed bool
 }
 
 // ID returns the node identifier.
 func (n *Node) ID() string { return n.id }
+
+// Handle returns the node's dense integer handle for use with SendID.
+func (n *Node) Handle() NodeID { return n.nid }
+
+// Region returns the region the node was placed in.
+func (n *Node) Region() RegionID { return n.region }
 
 // SetHandler installs the message handler. It may be changed between events.
 func (n *Node) SetHandler(h Handler) { n.handler = h }
 
 // Send transmits payload of the given size to node to. It never blocks; the
 // message is delivered (or dropped) during simulation execution.
+//
+//cscw:hotpath
 func (n *Node) Send(to string, payload any, size int) error {
-	return n.sim.Send(n.id, to, payload, size)
+	dst, ok := n.sim.byName[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	return n.sim.send(n, n.sim.nodes[dst], payload, size)
 }
 
 // Sim is the discrete-event simulator. Construct with New.
 type Sim struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
-	rng     *rand.Rand
-	nodes   map[string]*Node
-	links   map[linkKey]*linkState
-	deflt   Link
-	crashed map[string]bool
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	// free is the event freelist: Step returns each popped event here after
+	// copying its fields out, so steady-state Send/deliver cycles allocate
+	// nothing (the pool is bounded by the high-water mark of the queue).
+	free []*event
+	rng  *rand.Rand
+
+	// Node table: dense NodeID handles index nodes; byName resolves the
+	// public string addressing scheme once per call at the API edge.
+	byName map[string]NodeID
+	nodes  []*Node
+
+	// Three-tier link resolution (see topology.go). linkDefs is the arena
+	// of link descriptors; pairIdx (tier 1) and regionLink (tier 2) hold
+	// indices into it; deflt is tier 3.
+	deflt      Link
+	linkDefs   []Link
+	pairIdx    map[pairKey]int32
+	regionLink [][]int32
+	regionIdx  map[string]RegionID
+	regions    []string
+
+	// pairBusy is the per-pair FIFO serialization point for bandwidth
+	// modelling. Only pairs that actually transmit bytes get an entry —
+	// unlike link descriptors it is inherently per-pair state, but it grows
+	// with traffic, not with the node count squared.
+	pairBusy map[pairKey]time.Duration
+
+	// cuts are the active partition predicates; epoch tags each topology
+	// mutation (see topology.go).
+	cuts  []cut
+	epoch uint64
+
 	dropped int
 	sent    int
 	// delivered counts messages handed to a node handler, so harnesses can
@@ -146,11 +205,14 @@ type Sim struct {
 // node pairs without an explicit link.
 func New(seed int64, defaultLink Link) *Sim {
 	return &Sim{
-		rng:     rand.New(rand.NewSource(seed)),
-		nodes:   make(map[string]*Node),
-		links:   make(map[linkKey]*linkState),
-		crashed: make(map[string]bool),
-		deflt:   defaultLink,
+		rng:        rand.New(rand.NewSource(seed)),
+		byName:     make(map[string]NodeID),
+		deflt:      defaultLink,
+		pairIdx:    make(map[pairKey]int32),
+		regionLink: [][]int32{{-1}},
+		regionIdx:  map[string]RegionID{defaultRegionName: DefaultRegion},
+		regions:    []string{defaultRegionName},
+		pairBusy:   make(map[pairKey]time.Duration),
 	}
 }
 
@@ -170,14 +232,23 @@ func (s *Sim) Delivered() int { return s.delivered }
 // no handler installed at delivery time.
 func (s *Sim) DroppedNoHandler() int { return s.noHandler }
 
-// AddNode registers a new node. Adding a duplicate ID replaces the previous
-// node's identity but is almost certainly a bug; it returns an error.
+// AddNode registers a new node in the default region. Adding a duplicate ID
+// returns an error.
 func (s *Sim) AddNode(id string) (*Node, error) {
-	if _, ok := s.nodes[id]; ok {
+	return s.AddNodeAt(DefaultRegion, id)
+}
+
+// AddNodeAt registers a new node in the given region.
+func (s *Sim) AddNodeAt(r RegionID, id string) (*Node, error) {
+	if int(r) < 0 || int(r) >= len(s.regions) {
+		return nil, fmt.Errorf("netsim: unknown region %d", r)
+	}
+	if _, ok := s.byName[id]; ok {
 		return nil, fmt.Errorf("netsim: node %q already exists", id)
 	}
-	n := &Node{id: id, sim: s}
-	s.nodes[id] = n
+	n := &Node{id: id, nid: NodeID(len(s.nodes)), region: r, sim: s}
+	s.nodes = append(s.nodes, n)
+	s.byName[id] = n.nid
 	return n, nil
 }
 
@@ -191,75 +262,85 @@ func (s *Sim) MustAddNode(id string) *Node {
 	return n
 }
 
+// MustAddNodeAt is AddNodeAt with the same panic-on-error contract.
+func (s *Sim) MustAddNodeAt(r RegionID, id string) *Node {
+	n, err := s.AddNodeAt(r, id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
 // Node returns a registered node, or nil.
-func (s *Sim) Node(id string) *Node { return s.nodes[id] }
-
-// SetLink installs a unidirectional link between two nodes.
-func (s *Sim) SetLink(from, to string, l Link) {
-	key := linkKey{from, to}
-	if st, ok := s.links[key]; ok {
-		st.link = l
-		return
+func (s *Sim) Node(id string) *Node {
+	nid, ok := s.byName[id]
+	if !ok {
+		return nil
 	}
-	s.links[key] = &linkState{link: l}
+	return s.nodes[nid]
 }
 
-// SetBiLink installs the same link in both directions.
-func (s *Sim) SetBiLink(a, b string, l Link) {
-	s.SetLink(a, b, l)
-	s.SetLink(b, a, l)
+// Handle resolves a node name to its dense handle.
+func (s *Sim) Handle(id string) (NodeID, bool) {
+	nid, ok := s.byName[id]
+	return nid, ok
 }
 
-// LinkBetween returns the effective link from one node to another.
-func (s *Sim) LinkBetween(from, to string) Link {
-	if st, ok := s.links[linkKey{from, to}]; ok {
-		return st.link
-	}
-	return s.deflt
-}
-
-// SetDown raises or clears the Down flag on both directions between a and b.
-func (s *Sim) SetDown(a, b string, down bool) {
-	for _, key := range []linkKey{{a, b}, {b, a}} {
-		st, ok := s.links[key]
-		if !ok {
-			st = &linkState{link: s.deflt}
-			s.links[key] = st
-		}
-		st.link.Down = down
-	}
-}
+// NodeCount reports the number of registered nodes.
+func (s *Sim) NodeCount() int { return len(s.nodes) }
 
 // Crash marks a node dead: messages already in flight toward it and future
 // sends to it are dropped (counted in Stats' dropped), and sends from it
 // fail with ErrCrashed. The node's handler and identity survive, modelling
-// a process crash with stable storage; Restart brings it back.
-func (s *Sim) Crash(id string) { s.crashed[id] = true }
-
-// Restart clears a node's crashed state. Messages dropped while it was down
-// stay dropped — recovery is the protocol layer's job.
-func (s *Sim) Restart(id string) { delete(s.crashed, id) }
-
-// Crashed reports whether the node is currently crashed.
-func (s *Sim) Crashed(id string) bool { return s.crashed[id] }
-
-// Partition severs all links between the two groups of nodes. Heal restores
-// them.
-func (s *Sim) Partition(groupA, groupB []string) {
-	for _, a := range groupA {
-		for _, b := range groupB {
-			s.SetDown(a, b, true)
-		}
+// a process crash with stable storage; Restart brings it back. Unknown IDs
+// are ignored.
+func (s *Sim) Crash(id string) {
+	if nid, ok := s.byName[id]; ok {
+		s.nodes[nid].crashed = true
 	}
 }
 
-// Heal restores all links between the two groups.
-func (s *Sim) Heal(groupA, groupB []string) {
-	for _, a := range groupA {
-		for _, b := range groupB {
-			s.SetDown(a, b, false)
-		}
+// Restart clears a node's crashed state. Messages dropped while it was down
+// stay dropped — recovery is the protocol layer's job.
+func (s *Sim) Restart(id string) {
+	if nid, ok := s.byName[id]; ok {
+		s.nodes[nid].crashed = false
 	}
+}
+
+// Crashed reports whether the node is currently crashed.
+func (s *Sim) Crashed(id string) bool {
+	nid, ok := s.byName[id]
+	return ok && s.nodes[nid].crashed
+}
+
+// newEvent takes an event from the freelist, or allocates one.
+func (s *Sim) newEvent() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// release returns a popped event to the freelist with its pointers cleared.
+func (s *Sim) release(e *event) {
+	e.fn = nil
+	e.payload = nil
+	s.free = append(s.free, e)
+}
+
+// schedule stamps and enqueues a pooled event at the given absolute time.
+func (s *Sim) schedule(at time.Duration, e *event) {
+	if at < s.now {
+		at = s.now
+	}
+	e.at = at
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.queue, e)
 }
 
 // At schedules fn to run at the given delay from now.
@@ -267,86 +348,153 @@ func (s *Sim) At(delay time.Duration, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
+	e := s.newEvent()
+	e.kind = evFunc
+	e.fn = fn
+	s.schedule(s.now+delay, e)
+}
+
+// Ticker is the handle returned by Every. Stop cancels the periodic
+// callback at its next firing; StopAfter schedules the cancellation at a
+// virtual-time deadline, so a ticker whose callback never returns false
+// still lets Run terminate.
+type Ticker struct {
+	s       *Sim
+	stopped bool
+}
+
+// Stop cancels the ticker. The already-scheduled next tick becomes a no-op
+// when it fires; no further ticks are scheduled.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// StopAfter arranges for the ticker to stop d from now (virtual time). Ticks
+// strictly before the deadline still run; the tick landing exactly at the
+// deadline is cancelled (the stop event is scheduled first, so it wins the
+// same-timestamp tie).
+func (t *Ticker) StopAfter(d time.Duration) {
+	t.s.At(d, func() { t.stopped = true })
 }
 
 // Every schedules fn to run every interval, starting one interval from now,
-// until fn returns false.
-func (s *Sim) Every(interval time.Duration, fn func() bool) {
+// until fn returns false or the returned Ticker is stopped. A callback that
+// never returns false keeps the event queue non-empty forever — callers
+// driving Run to completion must bound such tickers with Stop or StopAfter.
+func (s *Sim) Every(interval time.Duration, fn func() bool) *Ticker {
+	t := &Ticker{s: s}
 	var tick func()
 	tick = func() {
+		if t.stopped {
+			return
+		}
 		if fn() {
 			s.At(interval, tick)
+		} else {
+			t.stopped = true
 		}
 	}
 	s.At(interval, tick)
+	return t
 }
 
 // Send schedules delivery of payload from one node to another, applying the
 // link's loss, latency, jitter and bandwidth. Messages between the same pair
 // are delivered FIFO (the bandwidth serialization point enforces this).
+//
+//cscw:hotpath
 func (s *Sim) Send(from, to string, payload any, size int) error {
-	if _, ok := s.nodes[from]; !ok {
+	src, ok := s.byName[from]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
 	}
-	dst, ok := s.nodes[to]
+	dst, ok := s.byName[to]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
-	key := linkKey{from, to}
-	st, ok := s.links[key]
-	if !ok {
-		st = &linkState{link: s.deflt}
-		s.links[key] = st
+	return s.send(s.nodes[src], s.nodes[dst], payload, size)
+}
+
+// SendID is Send addressed by dense node handles, skipping the name lookups.
+// Bulk workloads (benchmarks, scenario generators) resolve names once via
+// Handle and then drive the simulator through this entry point.
+//
+//cscw:hotpath
+func (s *Sim) SendID(from, to NodeID, payload any, size int) error {
+	if int(from) < 0 || int(from) >= len(s.nodes) {
+		return fmt.Errorf("%w: handle %d", ErrUnknownNode, from)
 	}
+	if int(to) < 0 || int(to) >= len(s.nodes) {
+		return fmt.Errorf("%w: handle %d", ErrUnknownNode, to)
+	}
+	return s.send(s.nodes[from], s.nodes[to], payload, size)
+}
+
+// send is the common delivery-scheduling path.
+//
+//cscw:hotpath
+func (s *Sim) send(src, dst *Node, payload any, size int) error {
+	l := s.linkFor(src, dst)
 	s.sent++
-	if s.crashed[from] {
+	if src.crashed {
 		s.dropped++
-		return fmt.Errorf("%w: %s", ErrCrashed, from)
+		return fmt.Errorf("%w: %s", ErrCrashed, src.id)
 	}
-	if st.link.Down {
+	if l.Down || s.cutsBlock(src.nid, dst.nid) {
 		s.dropped++
-		return fmt.Errorf("%w: %s -> %s (link down)", ErrNoRoute, from, to)
+		return fmt.Errorf("%w: %s -> %s (link down)", ErrNoRoute, src.id, dst.id)
 	}
-	if st.link.Loss > 0 && s.rng.Float64() < st.link.Loss {
+	if l.Loss > 0 && s.rng.Float64() < l.Loss {
 		s.dropped++
 		return nil // silently lost, like the real network
 	}
-	var transmit time.Duration
-	if st.link.Bandwidth > 0 && size > 0 {
-		transmit = time.Duration(float64(size) / float64(st.link.Bandwidth) * float64(time.Second))
+	busy := s.now
+	key := pk(src.nid, dst.nid)
+	if b, ok := s.pairBusy[key]; ok && b > busy {
+		busy = b
 	}
-	start := s.now
-	if st.busyUntil > start {
-		start = st.busyUntil
+	if l.Bandwidth > 0 && size > 0 {
+		transmit := time.Duration(float64(size) / float64(l.Bandwidth) * float64(time.Second))
+		busy += transmit
+		s.pairBusy[key] = busy
 	}
-	st.busyUntil = start + transmit
-	delay := st.busyUntil - s.now + st.link.Latency
-	if st.link.Jitter > 0 {
-		delay += time.Duration(s.rng.Int63n(int64(st.link.Jitter)))
+	delay := busy - s.now + l.Latency
+	if l.Jitter > 0 {
+		delay += time.Duration(s.rng.Int63n(int64(l.Jitter)))
 	}
-	if st.link.Reorder > 0 && st.link.ReorderDelay > 0 && s.rng.Float64() < st.link.Reorder {
-		delay += st.link.ReorderDelay
+	if l.Reorder > 0 && l.ReorderDelay > 0 && s.rng.Float64() < l.Reorder {
+		delay += l.ReorderDelay
 	}
-	msg := Msg{From: from, To: to, Payload: payload, Size: size, Sent: s.now}
-	s.At(delay, func() {
-		if s.crashed[to] {
-			s.dropped++ // arrived at a dead host
-			return
-		}
-		if dst.handler != nil {
-			s.delivered++
-			dst.handler(msg)
-		} else {
-			s.noHandler++
-		}
-	})
+	e := s.newEvent()
+	e.kind = evDeliver
+	e.from = src.nid
+	e.to = dst.nid
+	e.payload = payload
+	e.size = size
+	e.sentAt = s.now
+	s.schedule(s.now+delay, e)
 	return nil
+}
+
+// deliver dispatches an arrived message to its destination handler.
+//
+//cscw:hotpath
+func (s *Sim) deliver(from, to NodeID, payload any, size int, sentAt time.Duration) {
+	dst := s.nodes[to]
+	if dst.crashed {
+		s.dropped++ // arrived at a dead host
+		return
+	}
+	if dst.handler == nil {
+		s.noHandler++
+		return
+	}
+	s.delivered++
+	dst.handler(Msg{From: s.nodes[from].id, To: dst.id, Payload: payload, Size: size, Sent: sentAt})
 }
 
 // Step executes the next pending event. It reports false when the queue is
 // empty.
+//
+//cscw:hotpath
 func (s *Sim) Step() bool {
 	if s.queue.Len() == 0 {
 		return false
@@ -355,7 +503,20 @@ func (s *Sim) Step() bool {
 	if e.at > s.now {
 		s.now = e.at
 	}
-	e.fn()
+	// Copy the fields out and recycle the event before dispatch: handlers
+	// may schedule new events, which then reuse this slot.
+	kind := e.kind
+	fn := e.fn
+	from, to := e.from, e.to
+	payload := e.payload
+	size := e.size
+	sentAt := e.sentAt
+	s.release(e)
+	if kind == evDeliver {
+		s.deliver(from, to, payload, size, sentAt)
+	} else {
+		fn()
+	}
 	return true
 }
 

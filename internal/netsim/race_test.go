@@ -1,0 +1,8 @@
+//go:build race
+
+package netsim
+
+// raceEnabled lets the scale acceptance test shrink its workload when the
+// race detector multiplies per-event cost; the headline numbers come from
+// plain builds (BenchmarkNetsimScale, BENCH json rows).
+const raceEnabled = true

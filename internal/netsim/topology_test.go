@@ -1,0 +1,348 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// wallClock reads the real clock — test-only, for measuring simulator
+// throughput (the simulator itself never reads wall time).
+func wallClock() time.Duration { return time.Duration(time.Now().UnixNano()) }
+
+// --- Every / Ticker regression (satellite: a never-false callback used to
+// make Run() non-terminating; Stop/StopAfter bound it) ---
+
+func TestEveryTickerStopAfter(t *testing.T) {
+	s := New(1, LocalLink)
+	ticks := 0
+	tk := s.Every(10*time.Millisecond, func() bool {
+		ticks++
+		return true // never volunteers to stop
+	})
+	tk.StopAfter(55 * time.Millisecond)
+	end := s.Run() // must terminate
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5 (at 10..50ms)", ticks)
+	}
+	if end != 60*time.Millisecond {
+		// The final (cancelled) tick event at 60ms still advances the clock.
+		t.Fatalf("end = %v, want 60ms", end)
+	}
+}
+
+func TestEveryTickerStopAfterDeadlineTie(t *testing.T) {
+	// A tick landing exactly at the StopAfter deadline is cancelled: the
+	// stop event was scheduled earlier, so it wins the same-timestamp tie.
+	s := New(1, LocalLink)
+	ticks := 0
+	tk := s.Every(10*time.Millisecond, func() bool { ticks++; return true })
+	tk.StopAfter(30 * time.Millisecond)
+	s.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (10ms, 20ms; 30ms tied with stop and cancelled)", ticks)
+	}
+}
+
+func TestEveryTickerStopImmediate(t *testing.T) {
+	s := New(1, LocalLink)
+	ticks := 0
+	tk := s.Every(5*time.Millisecond, func() bool { ticks++; return true })
+	s.At(12*time.Millisecond, func() { tk.Stop() })
+	s.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (5ms, 10ms)", ticks)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", s.Pending())
+	}
+}
+
+// --- RunUntil deadline ties (satellite) ---
+
+func TestRunUntilDeadlineTie(t *testing.T) {
+	s := New(1, LocalLink)
+	var fired []string
+	s.At(10*time.Millisecond, func() { fired = append(fired, "at-deadline-1") })
+	s.At(10*time.Millisecond, func() { fired = append(fired, "at-deadline-2") })
+	s.At(10*time.Millisecond+1, func() { fired = append(fired, "after") })
+	s.RunUntil(10 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != "at-deadline-1" || fired[1] != "at-deadline-2" {
+		t.Fatalf("fired = %v, want both at-deadline events in order", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (the after-deadline event)", s.Pending())
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want exactly the deadline", s.Now())
+	}
+}
+
+// --- bandwidth FIFO serialization across SetDown/heal cycles (satellite) ---
+
+func TestBusyUntilSurvivesSetDownHeal(t *testing.T) {
+	s := New(1, Link{Latency: 0, Bandwidth: 1000}) // 1000 B/s, zero latency
+	s.MustAddNode("a")
+	s.MustAddNode("b")
+	var arrivals []time.Duration
+	s.Node("b").SetHandler(func(m Msg) { arrivals = append(arrivals, s.Now()) })
+
+	// First 500B message occupies the wire until 500ms.
+	if err := s.Send("a", "b", nil, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BusyUntil("a", "b"); got != 500*time.Millisecond {
+		t.Fatalf("busyUntil = %v, want 500ms", got)
+	}
+
+	// A down/heal cycle must not reset the serialization point.
+	s.SetDown("a", "b", true)
+	if err := s.Send("a", "b", nil, 500); err == nil {
+		t.Fatal("send over downed link succeeded")
+	}
+	s.SetDown("a", "b", false)
+	if got := s.BusyUntil("a", "b"); got != 500*time.Millisecond {
+		t.Fatalf("busyUntil after down/heal = %v, want 500ms", got)
+	}
+
+	// Second message queues behind the first: arrives at 1s, not 500ms.
+	if err := s.Send("a", "b", nil, 500); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(arrivals) != 2 || arrivals[0] != 500*time.Millisecond || arrivals[1] != 1000*time.Millisecond {
+		t.Fatalf("arrivals = %v, want [500ms 1s]", arrivals)
+	}
+}
+
+// --- three-tier link resolution ---
+
+func TestLinkResolutionTiers(t *testing.T) {
+	s := New(1, Link{Latency: 7 * time.Millisecond}) // tier 3
+	east := s.Region("east")
+	west := s.Region("west")
+	s.SetRegionLink(east, east, Link{Latency: 1 * time.Millisecond})
+	s.SetRegionBiLink(east, west, Link{Latency: 40 * time.Millisecond})
+	s.MustAddNodeAt(east, "e1")
+	s.MustAddNodeAt(east, "e2")
+	s.MustAddNodeAt(west, "w1")
+	s.MustAddNodeAt(west, "w2")
+	s.SetLink("e1", "w1", Link{Latency: 3 * time.Millisecond}) // tier 1
+
+	cases := []struct {
+		from, to string
+		want     time.Duration
+	}{
+		{"e1", "w1", 3 * time.Millisecond},  // pair override wins
+		{"w1", "e1", 40 * time.Millisecond}, // override is directional
+		{"e1", "e2", 1 * time.Millisecond},  // intra-region class
+		{"e2", "w2", 40 * time.Millisecond}, // cross-region class
+		{"w1", "w2", 7 * time.Millisecond},  // west-west unset: default
+	}
+	for _, c := range cases {
+		if got := s.LinkBetween(c.from, c.to).Latency; got != c.want {
+			t.Errorf("LinkBetween(%s,%s).Latency = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	if got := s.RegionName(west); got != "west" {
+		t.Errorf("RegionName = %q", got)
+	}
+	if got := s.Region("east"); got != east {
+		t.Errorf("Region(east) created a duplicate: %d vs %d", got, east)
+	}
+}
+
+func TestRegionLinkDelivery(t *testing.T) {
+	s := New(1, LocalLink)
+	east := s.Region("east")
+	west := s.Region("west")
+	s.SetRegionBiLink(east, west, Link{Latency: 40 * time.Millisecond})
+	s.MustAddNodeAt(east, "e1")
+	s.MustAddNodeAt(west, "w1")
+	var at time.Duration
+	s.Node("w1").SetHandler(func(m Msg) { at = s.Now() })
+	if err := s.Send("e1", "w1", "hi", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if at != 40*time.Millisecond {
+		t.Fatalf("delivered at %v, want 40ms (region class latency)", at)
+	}
+}
+
+// --- cut-set partition semantics ---
+
+func TestPartitionEpochAndCutCount(t *testing.T) {
+	s := New(1, LocalLink)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		s.MustAddNode(id)
+	}
+	e0 := s.Epoch()
+	s.Partition([]string{"a", "b"}, []string{"c", "d"})
+	if s.Epoch() <= e0 {
+		t.Fatal("Partition did not advance the epoch")
+	}
+	if s.Cuts() != 2 {
+		t.Fatalf("cuts = %d, want 2 (one per direction)", s.Cuts())
+	}
+	s.Heal([]string{"a", "b"}, []string{"c", "d"})
+	if s.Cuts() != 0 {
+		t.Fatalf("cuts = %d after full heal, want 0", s.Cuts())
+	}
+}
+
+func TestPartitionDoesNotAffectLaterNodes(t *testing.T) {
+	s := New(1, LocalLink)
+	s.MustAddNode("a")
+	s.MustAddNode("b")
+	s.Partition([]string{"a"}, []string{"b"})
+	s.MustAddNode("c") // registered after the cut was built
+	got := 0
+	s.MustAddNode("d").SetHandler(func(m Msg) { got++ })
+	if err := s.Send("c", "d", nil, 0); err != nil {
+		t.Fatalf("send between post-partition nodes: %v", err)
+	}
+	if err := s.Send("a", "b", nil, 0); err == nil {
+		t.Fatal("partitioned pair delivered")
+	}
+	s.Run()
+	if got != 1 {
+		t.Fatalf("delivered = %d, want 1", got)
+	}
+}
+
+func TestPartitionUnknownNamesSkipped(t *testing.T) {
+	s := New(1, LocalLink)
+	s.MustAddNode("a")
+	s.MustAddNode("b")
+	s.Partition([]string{"a", "ghost"}, []string{"b"})
+	if err := s.Send("a", "b", nil, 0); err == nil {
+		t.Fatal("a->b should be severed")
+	}
+	// A partition naming only unknown nodes is a no-op, not a panic.
+	s.Partition([]string{"ghost"}, []string{"phantom"})
+	s.Heal([]string{"ghost"}, []string{"phantom"})
+}
+
+// --- allocation budgets (acceptance: Partition no longer O(|A|×|B|)) ---
+
+func TestPartitionAllocBudget(t *testing.T) {
+	const n = 10_000
+	s := New(1, LANLink)
+	a := make([]string, 0, n/2)
+	b := make([]string, 0, n/2)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%05d", i)
+		s.MustAddNode(id)
+		if i < n/2 {
+			a = append(a, id)
+		} else {
+			b = append(b, id)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Partition(a, b)
+		s.Heal(a, b)
+	})
+	// The flat model performed |A|×|B| = 25M map inserts here. The cut-set
+	// model allocates a handful of bitsets per mutation; leave slack for
+	// incidental growth but stay orders of magnitude below per-pair.
+	if allocs > 64 {
+		t.Fatalf("Partition+Heal of 2x5k allocated %.0f objects/op, budget 64", allocs)
+	}
+	t.Logf("Partition+Heal 2x5k: %.1f allocs/op", allocs)
+}
+
+func TestSendSteadyStateAllocBudget(t *testing.T) {
+	s := New(1, Link{Latency: time.Millisecond, Bandwidth: 1_250_000})
+	s.MustAddNode("a")
+	n := s.MustAddNode("b")
+	n.SetHandler(func(m Msg) {})
+	// Warm the event pool and the pairBusy entry.
+	for i := 0; i < 64; i++ {
+		_ = s.Send("a", "b", nil, 64)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.Send("a", "b", nil, 64); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+	})
+	// Pooled events + typed delivery dispatch: a steady-state send+deliver
+	// cycle must not allocate (the old path allocated an event, a closure,
+	// and a boxed Msg per send).
+	if allocs > 0.5 {
+		t.Fatalf("steady-state send+deliver allocated %.2f objects/op, want 0", allocs)
+	}
+}
+
+// --- scale acceptance: 10k-node two-region world ---
+
+// tenKWorld builds a 10k-node two-region topology with LAN intra-region
+// classes and a WAN cross-region class, returning the node handles.
+func tenKWorld(tb testing.TB, nodes int) (*Sim, []NodeID, []string) {
+	s := New(42, LANLink)
+	east := s.Region("east")
+	west := s.Region("west")
+	s.SetRegionLink(east, east, LANLink)
+	s.SetRegionLink(west, west, LANLink)
+	s.SetRegionBiLink(east, west, WANLink)
+	ids := make([]string, nodes)
+	handles := make([]NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		r := east
+		if i >= nodes/2 {
+			r = west
+		}
+		ids[i] = fmt.Sprintf("n%05d", i)
+		handles[i] = s.MustAddNodeAt(r, ids[i]).Handle()
+	}
+	return s, handles, ids
+}
+
+func TestTenKWorldPartitionsAndDrains(t *testing.T) {
+	nodes, events := 10_000, 1_000_000
+	if raceEnabled || testing.Short() {
+		// The race detector multiplies the per-event cost ~10x; the scale
+		// acceptance number is measured without it (see BenchmarkNetsimScale
+		// and the netsim_scale_* rows in the checked-in BENCH json).
+		nodes, events = 1_000, 100_000
+	}
+	start := wallClock()
+	s, handles, ids := tenKWorld(t, nodes)
+	delivered := 0
+	for _, h := range handles {
+		s.nodes[h].handler = func(m Msg) { delivered++ }
+	}
+	s.Partition(ids[:nodes/2], ids[nodes/2:])
+	s.Heal(ids[:nodes/2], ids[nodes/2:])
+	sent := 0
+	for i := 0; i < events; i++ {
+		from := handles[i%nodes]
+		// Mostly ring traffic within the region, every 16th send crossing
+		// the WAN, so the pairBusy table stays O(nodes), not O(events).
+		var to NodeID
+		if i%16 == 0 {
+			to = handles[(i%nodes+nodes/2)%nodes]
+		} else {
+			to = handles[(i%nodes+1)%nodes]
+		}
+		if err := s.SendID(from, to, nil, 64); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+		if i%4096 == 4095 {
+			s.Run()
+		}
+	}
+	s.Run()
+	elapsed := wallClock() - start
+	if delivered != sent {
+		t.Fatalf("delivered %d of %d", delivered, sent)
+	}
+	if elapsed > 15*time.Second {
+		t.Fatalf("%d-node world took %v to construct, partition and drain %d events; want single-digit seconds", nodes, elapsed, events)
+	}
+	t.Logf("%d nodes, %d events: %v (%.0f events/sec)", nodes, events, elapsed, float64(sent)/elapsed.Seconds())
+}

@@ -238,7 +238,82 @@ func GenerateFloorRequests(rng *rand.Rand, users []string, horizon, meanGap, mea
 			at += expDuration(rng, meanGap)
 		}
 	}
-	// Sort by time using insertion (traces are small); keeps package sort-free.
+	sortFloorRequests(out)
+	return out
+}
+
+// Users generates n prefix-numbered user IDs ("u000", "u001", ...), the
+// naming scheme the scale scenarios share with the topology builder. The
+// width grows with n so IDs always sort in creation order.
+func Users(prefix string, n int) []string {
+	width := 1
+	for lim := 10; lim < n; lim *= 10 {
+		width++
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%0*d", prefix, width, i)
+	}
+	return out
+}
+
+// GenerateFloorStorm produces one floor request per user, all landing
+// inside the window — the conference-opening storm where everyone asks to
+// speak at once. Holds are exponential with the given mean. Requests come
+// back sorted by time.
+func GenerateFloorStorm(rng *rand.Rand, users []string, window, meanHold time.Duration) []FloorRequest {
+	out := make([]FloorRequest, 0, len(users))
+	for _, u := range users {
+		out = append(out, FloorRequest{
+			User: u,
+			At:   time.Duration(rng.Int63n(int64(window))),
+			Hold: expDuration(rng, meanHold),
+		})
+	}
+	sortFloorRequests(out)
+	return out
+}
+
+// sortFloorRequests orders a trace by arrival time using insertion sort
+// (traces are small; keeps the package sort-free).
+func sortFloorRequests(out []FloorRequest) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+// ChurnEvent is one membership change in a flash-crowd trace.
+type ChurnEvent struct {
+	User string
+	At   time.Duration
+	Join bool // true joins the group, false leaves it
+}
+
+// GenerateFlashCrowd produces a join/leave trace: every user joins inside
+// the ramp window, then alternates leaving after an exponential stay and
+// rejoining after an exponential absence, until the horizon. Each user's
+// events are strictly ordered; the combined trace comes back sorted by
+// time (ties keep per-user order, so a user's join always precedes their
+// next leave).
+func GenerateFlashCrowd(rng *rand.Rand, users []string, ramp, horizon, meanStay, meanAway time.Duration) []ChurnEvent {
+	var out []ChurnEvent
+	for _, u := range users {
+		at := time.Duration(rng.Int63n(int64(ramp)))
+		joined := false
+		for at < horizon {
+			out = append(out, ChurnEvent{User: u, At: at, Join: !joined})
+			joined = !joined
+			if joined {
+				at += expDuration(rng, meanStay) + time.Microsecond
+			} else {
+				at += expDuration(rng, meanAway) + time.Microsecond
+			}
+		}
+	}
+	// Stable insertion sort by time: equal-time events keep generation
+	// order, preserving each user's join/leave alternation.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
 			out[j], out[j-1] = out[j-1], out[j]

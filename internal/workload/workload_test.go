@@ -149,3 +149,88 @@ func TestOpKindString(t *testing.T) {
 		t.Error("OpKind names wrong")
 	}
 }
+
+func TestUsers(t *testing.T) {
+	got := Users("u", 3)
+	if len(got) != 3 || got[0] != "u0" || got[2] != "u2" {
+		t.Fatalf("Users(u,3) = %v", got)
+	}
+	big := Users("spk", 1000)
+	if big[0] != "spk000" || big[999] != "spk999" {
+		t.Fatalf("Users(spk,1000) endpoints = %q..%q", big[0], big[999])
+	}
+	for i := 1; i < len(big); i++ {
+		if big[i-1] >= big[i] {
+			t.Fatalf("IDs not strictly increasing at %d: %q >= %q", i, big[i-1], big[i])
+		}
+	}
+}
+
+func TestGenerateFloorStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	users := Users("u", 200)
+	reqs := GenerateFloorStorm(rng, users, 20*time.Millisecond, 5*time.Millisecond)
+	if len(reqs) != len(users) {
+		t.Fatalf("storm has %d requests, want one per user (%d)", len(reqs), len(users))
+	}
+	seen := make(map[string]bool)
+	for i, r := range reqs {
+		if r.At < 0 || r.At >= 20*time.Millisecond {
+			t.Fatalf("request %d lands at %v, outside the window", i, r.At)
+		}
+		if i > 0 && reqs[i-1].At > r.At {
+			t.Fatalf("trace not sorted at %d", i)
+		}
+		if seen[r.User] {
+			t.Fatalf("user %s requested twice", r.User)
+		}
+		seen[r.User] = true
+	}
+}
+
+func TestGenerateFlashCrowd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	users := Users("c", 100)
+	evs := GenerateFlashCrowd(rng, users, 10*time.Millisecond, 100*time.Millisecond,
+		20*time.Millisecond, 15*time.Millisecond)
+	joined := make(map[string]bool)
+	last := time.Duration(-1)
+	firstJoin := make(map[string]bool)
+	for _, e := range evs {
+		if e.At < last {
+			t.Fatalf("trace not sorted: %v after %v", e.At, last)
+		}
+		last = e.At
+		if e.Join == joined[e.User] {
+			t.Fatalf("user %s %v twice in a row", e.User, e.Join)
+		}
+		joined[e.User] = e.Join
+		if !firstJoin[e.User] {
+			if !e.Join {
+				t.Fatalf("user %s leaves before joining", e.User)
+			}
+			if e.At >= 10*time.Millisecond {
+				t.Fatalf("user %s first joins at %v, after the ramp", e.User, e.At)
+			}
+			firstJoin[e.User] = true
+		}
+	}
+	if len(firstJoin) != len(users) {
+		t.Fatalf("only %d of %d users ever joined", len(firstJoin), len(users))
+	}
+}
+
+func TestGenerateFlashCrowdDeterministic(t *testing.T) {
+	a := GenerateFlashCrowd(rand.New(rand.NewSource(5)), Users("c", 50),
+		10*time.Millisecond, 80*time.Millisecond, 20*time.Millisecond, 10*time.Millisecond)
+	b := GenerateFlashCrowd(rand.New(rand.NewSource(5)), Users("c", 50),
+		10*time.Millisecond, 80*time.Millisecond, 20*time.Millisecond, 10*time.Millisecond)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
