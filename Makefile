@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all check build vet lint lint-baseline test race bench bench-json chaos chaos-scale experiments examples cover fuzz-smoke
+.PHONY: all check build vet lint lint-baseline test race bench bench-json bench-lint chaos chaos-scale experiments examples cover fuzz-smoke
 
 all: check
 
@@ -23,10 +23,10 @@ vet:
 # discipline); see DESIGN.md "Enforced invariants". Exit codes: 0 clean,
 # 1 violation, 2 load error — shared with `cscwctl lint` and `cscwctl chaos`.
 lint:
-	go run ./cmd/cscwlint .
+	go run ./cmd/cscwlint -stale=fail .
 
 # Print every current finding as lint.baseline candidate lines (the gate
-# warns about stale entries; this regenerates the non-comment body). Always
+# fails on stale entries; this regenerates the non-comment body). Always
 # exits 0 — the output feeds a human edit, not CI.
 lint-baseline:
 	go run ./cmd/cscwlint -format=baseline .
@@ -47,6 +47,11 @@ bench:
 BENCH_DATE := $(shell date +%F)
 bench-json:
 	go run ./cmd/cscwbench -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json
+
+# Lint-suite timing rows only (lint_wall_ms, lint_stage4_ms): fast enough to
+# rerun whenever an analyzer changes, without the full simulator matrix.
+bench-lint:
+	go run ./cmd/cscwbench -date $(BENCH_DATE) -lint-only -out BENCH_$(BENCH_DATE)-lint.json
 
 # Short-mode chaos matrix under the race detector, over a fixed seed set.
 # Any violation prints the seed and a one-command replay.

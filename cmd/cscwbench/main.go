@@ -15,6 +15,7 @@
 //	-out FILE         output path (default stdout)
 //	-seed N           simulator seed (default 1)
 //	-quick            skip the slower scenarios and shrink latency samples
+//	-lint-only        only the lint-suite timing rows (`make bench-lint`)
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fabric"
 	"repro/internal/group"
+	"repro/internal/lint"
 	"repro/internal/session"
 	"repro/internal/transport"
 )
@@ -48,6 +50,7 @@ func run(args []string) error {
 	out := fs.String("out", "", "output file (default stdout)")
 	seed := fs.Int64("seed", 1, "simulator seed")
 	quick := fs.Bool("quick", false, "skip slower scenarios, shrink latency samples")
+	lintOnly := fs.Bool("lint-only", false, "run only the lint-suite timing rows (lint_wall_ms, lint_stage4_ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +64,16 @@ func run(args []string) error {
 		res := rep.Add(name, 1, fn)
 		fmt.Fprintf(os.Stderr, "  %d iters, %.0f ns/op, %.0f msgs/sec, %.0f allocs/op\n",
 			res.Iters, res.NsPerOp, res.MsgsPerSec, res.AllocsPerOp)
+	}
+
+	// Lint-suite timing rows (run from the module root, like `make lint`):
+	// the full-suite wall cost, and the marginal cost of the stage-4
+	// concurrency pass over an already-summarized module. `make bench-lint`
+	// writes these alone into the dated BENCH_<date>-lint.json.
+	if *lintOnly {
+		add("lint_wall_ms", lintWall())
+		add("lint_stage4_ms", lintStage4())
+		return writeReport(rep, *out)
 	}
 
 	seq := bench.MulticastOptions{Members: 8, Ordering: group.TotalSequencer, Seed: *seed}
@@ -151,9 +164,18 @@ func run(args []string) error {
 		}
 	}
 
+	if !*quick {
+		add("lint_wall_ms", lintWall())
+		add("lint_stage4_ms", lintStage4())
+	}
+
+	return writeReport(rep, *out)
+}
+
+func writeReport(rep *bench.Report, out string) error {
 	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
@@ -163,10 +185,43 @@ func run(args []string) error {
 	if err := rep.WriteJSON(w); err != nil {
 		return err
 	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *out, len(rep.Results))
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", out, len(rep.Results))
 	}
 	return nil
+}
+
+// lintWall prices one full `make lint` equivalent — load, type-check, every
+// analyzer stage — over the module containing the working directory.
+func lintWall() func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lint.CheckModule("."); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// lintStage4 prices the marginal cost of the stage-4 concurrency pass: the
+// module is loaded and summarized once outside the timer, each iteration
+// rebuilds the call graph and runs block-lock, chan-proto and shutdown-prop.
+func lintStage4() func(b *testing.B) {
+	return func(b *testing.B) {
+		l, err := lint.NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.LoadModule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := lint.NewModule(pkgs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ConcStage()
+		}
+	}
 }
 
 // hubSendRecv prices one message through the full byte-transport path: a

@@ -9,7 +9,8 @@
 //	        [-engine ot|crdt]
 //	cscwctl chaos -list
 //	cscwctl chaos -scenario <name> [-seed <n>] [-v]
-//	cscwctl lint [-format=text|json|sarif|github] [-baseline=file] [dir] [pkgfilter]
+//	cscwctl lint [-format=text|json|sarif|github] [-baseline=file]
+//	        [-stale=warn|fail] [dir] [pkgfilter]
 //
 // The chaos subcommand runs one deterministic fault scenario from
 // internal/chaos and exits non-zero if any invariant is violated; -v prints
@@ -72,7 +73,7 @@ func main() {
 }
 
 // runLint runs the static-analysis suite through the same front-end as
-// cmd/cscwlint (flag-for-flag parity: -rules, -format, -baseline, [dir]
+// cmd/cscwlint (flag-for-flag parity: -rules, -format, -baseline, -stale,
 // [pkgfilter]) and the same exit codes as runChaos: 0 clean, 1 at least
 // one violation, 2 usage or load error.
 func runLint(args []string) int {
@@ -222,9 +223,12 @@ func run(args []string) error {
 		fmt.Printf("-- %s is %s --\n", who, p)
 	}
 	joined := make(chan struct{})
+	var joinedOnce sync.Once
 	cli.OnJoined = func(m session.Mode, members []string) {
 		fmt.Printf("-- joined (%s mode); members: %s --\n", m, strings.Join(members, ", "))
-		close(joined)
+		// The host acks every MsgJoin, and a resumed session re-fires this
+		// callback; closing twice would panic the client.
+		joinedOnce.Do(func() { close(joined) })
 	}
 
 	// Introduce ourselves so the host can dial back, then join.

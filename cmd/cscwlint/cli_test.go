@@ -219,6 +219,31 @@ func TestBaselineStaleEntryWarns(t *testing.T) {
 	}
 }
 
+func TestBaselineStaleModeFail(t *testing.T) {
+	// Same setup as the warn test, but -stale=fail (what CI and `make lint`
+	// pass): a clean run with a paid-down entry exits non-zero and the
+	// message carries the full key — rule name included — so the offending
+	// baseline line can be found and deleted.
+	bl := filepath.Join(t.TempDir(), "lint.baseline")
+	live := "internal/clockbad/clockbad.go: [det-time] time.Now reads the wall clock in a trace-critical package; inject a clock (func() time.Duration) instead\n"
+	stale := "internal/gone/gone.go: [det-rand] finding that was fixed long ago\n"
+	if err := os.WriteFile(bl, []byte(live+stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI("-stale=fail", "-baseline="+bl, "testdata/broken")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 under -stale=fail: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "error: stale baseline entry") ||
+		!strings.Contains(stderr, "internal/gone/gone.go: [det-rand]") {
+		t.Errorf("stderr = %q, want error naming the rule and key", stderr)
+	}
+	if code, _, stderr := runCLI("-stale=maybe", "testdata/broken"); code != 2 ||
+		!strings.Contains(stderr, "unknown -stale mode") {
+		t.Errorf("unknown -stale mode: exit %d, stderr %q; want usage error", code, stderr)
+	}
+}
+
 func TestBaselineStaleEntryStillFails(t *testing.T) {
 	bl := filepath.Join(t.TempDir(), "lint.baseline")
 	if err := os.WriteFile(bl, []byte("internal/other.go: [det-time] something else\n"), 0o644); err != nil {

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	cscwlint [-rules] [-format=text|json|sarif|github] [-baseline=file] [dir] [pkgfilter]
+//	cscwlint [-rules] [-format=text|json|sarif|github|baseline] [-baseline=file]
+//	         [-stale=warn|fail] [dir] [pkgfilter]
 //
 // A positional argument that is not a directory is a package-path filter
 // (substring of an import path, e.g. "internal/group"); reporting is
@@ -21,8 +22,9 @@
 //	2  usage, load or type-check error
 //
 // The rules — determinism (det-time, det-rand, det-maporder), layering
-// (layer-net, layer-transport, layer-netsim), lock hygiene (lock-send,
-// lock-order), lifecycle (life-leak), guarded-field inference (guard-infer)
+// (layer-net, layer-transport, layer-netsim), lock hygiene (block-lock,
+// lock-order), channel protocol (chan-proto), shutdown propagation
+// (shutdown-prop), lifecycle (life-leak), guarded-field inference (guard-infer)
 // and error discipline (err-drop) — are documented in DESIGN.md ("Enforced
 // invariants"), together with the //lint:ignore suppression policy.
 package main

@@ -398,7 +398,7 @@ func (m *Member) viewTargets() []string {
 
 // sendToAll fans pkt out to targets. It must be called without m.mu held —
 // a Send can block over a real transport, and a member that sends while
-// locked can deadlock with a peer doing the same (cscwlint's lock-send rule
+// locked can deadlock with a peer doing the same (cscwlint's block-lock rule
 // enforces this). Best-effort: every target is attempted even when some
 // sends fail (partial failure must not silence members listed after the
 // first unreachable one — self-delivery in particular is unrepairable).

@@ -63,6 +63,26 @@ func BenchmarkDataflowStage(b *testing.B) {
 	}
 }
 
+// BenchmarkConcStage times the stage-4 concurrency call graph and its three
+// analyzers (block-lock, chan-proto, shutdown-prop) alone. The cached graph
+// is rebuilt each iteration, so the number is the marginal cost stage 4
+// added to `make lint` over an already-summarized module.
+func BenchmarkConcStage(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewModule(pkgs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ConcStage()
+	}
+}
+
 // TestLintWallTime is the interactivity gate behind `make lint`: one full
 // CheckModule — load, type-check, all three analysis stages — must finish
 // within the budget. The limit is generous against local runs (~2-3s) so

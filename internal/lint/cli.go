@@ -120,7 +120,8 @@ func filterDiags(pkgs []*Package, diags []Diagnostic, filter string) ([]Diagnost
 
 // CLIMain is the front-end: parses flags, runs the suite and writes results.
 //
-//	tool [-rules] [-format=text|json|sarif|github|baseline] [-baseline=file] [dir] [pkgfilter]
+//	tool [-rules] [-format=text|json|sarif|github|baseline] [-baseline=file]
+//	     [-stale=warn|fail] [dir] [pkgfilter]
 //
 // The first positional argument names the module directory when it exists
 // on disk, and is otherwise treated as the package-path filter; with two
@@ -132,6 +133,7 @@ func CLIMain(tool string, args []string, stdout, stderr io.Writer) int {
 	rules := fs.Bool("rules", false, "list the rules and exit")
 	format := fs.String("format", "text", "output format: text, json, sarif, github or baseline")
 	baseline := fs.String("baseline", "", "baseline file (default <module root>/"+BaselineFile+")")
+	stale := fs.String("stale", "warn", "stale baseline entries: warn or fail (CI passes -stale=fail so paid-down debt markers get deleted)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -148,6 +150,12 @@ func CLIMain(tool string, args []string, stdout, stderr io.Writer) int {
 	case "text", "json", "sarif", "github", "baseline":
 	default:
 		fmt.Fprintf(stderr, "%s: unknown format %q (text, json, sarif, github, baseline)\n", tool, *format)
+		return 2
+	}
+	switch *stale {
+	case "warn", "fail":
+	default:
+		fmt.Fprintf(stderr, "%s: unknown -stale mode %q (warn or fail)\n", tool, *stale)
 		return 2
 	}
 	cfg := RunConfig{Baseline: *baseline}
@@ -194,8 +202,16 @@ func CLIMain(tool string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "%s: %d baseline candidate(s)\n", tool, len(res.All))
 		return 0
 	}
-	for _, stale := range res.Stale {
-		fmt.Fprintf(stderr, "%s: warning: stale baseline entry (no finding matches): %s\n", tool, stale)
+	severity := "warning"
+	if *stale == "fail" {
+		severity = "error"
+	}
+	for _, s := range res.Stale {
+		fmt.Fprintf(stderr, "%s: %s: stale baseline entry (no finding matches): %s\n", tool, severity, s)
+	}
+	if *stale == "fail" && len(res.Stale) > 0 && len(live) == 0 {
+		fmt.Fprintf(stderr, "%s: %d stale baseline entry(s); delete the paid-down lines from the baseline\n", tool, len(res.Stale))
+		return 1
 	}
 	if len(live) > 0 {
 		fmt.Fprintf(stderr, "%s: %d violation(s)", tool, len(live))

@@ -26,7 +26,7 @@ import (
 //
 // The discharge check is existence-based, not all-paths: a resource closed
 // on one path but leaked on an early return is missed (false-negative
-// bias, like lock-send). time.AfterFunc is exempt — a one-shot timer that
+// bias, like block-lock). time.AfterFunc is exempt — a one-shot timer that
 // discharges itself by firing.
 func LifeLeak() *ModuleAnalyzer {
 	return &ModuleAnalyzer{

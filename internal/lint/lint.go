@@ -11,7 +11,13 @@
 //     package tunnels around fabric.Endpoint to the substrates
 //     (layer-netsim, layer-transport, layer-net);
 //   - lock hygiene: endpoints block (TCP writes, channel handoffs), so no
-//     send may happen while a sync.Mutex/RWMutex is held (lock-send);
+//     blocking operation may be reachable — through any call chain — while
+//     a sync.Mutex/RWMutex is held (block-lock, which retired the older
+//     linear-walk lock-send rule);
+//   - concurrency protocol: channel lifecycle misuse (close by a
+//     non-sender, double close, send-after-close, locked unbuffered
+//     handoffs) and goroutines spawned with no reachable stop signal
+//     (chan-proto, shutdown-prop);
 //   - error discipline: Send, codec and registration errors must be
 //     handled or explicitly discarded, never silently dropped (err-drop).
 //
@@ -71,7 +77,6 @@ func Analyzers() []*Analyzer {
 		DetRand(),
 		DetMapOrder(),
 		Layering(),
-		LockSend(),
 		ErrDrop(),
 	}
 }
@@ -157,7 +162,8 @@ func inDeterminismScope(path string) bool {
 	return strings.HasPrefix(path, modulePrefix+"/cmd/")
 }
 
-// inLockScope reports whether lock-send applies. The transport owns real
+// inLockScope reports whether block-lock's mutex half applies. The
+// transport owns real
 // sockets and serializes frame writes under per-connection mutexes by
 // design, so it is the one exempt internal package.
 func inLockScope(path string) bool {

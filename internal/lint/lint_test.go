@@ -32,6 +32,10 @@ var fixtures = []struct {
 	{"hotalloc", "repro/internal/fixture/hotalloc"},
 	{"wirecompat", "repro/internal/fixture/wirecompat"},
 	{"atomicmix", "repro/internal/fixture/atomicmix"},
+	{"blocklock", "repro/internal/fixture/blocklock"},
+	{"chanproto", "repro/internal/fixture/chanproto"},
+	{"shutdownprop", "repro/internal/fixture/shutdownprop"},
+	{"chansubst", "repro/internal/fixture/chansubst"},
 }
 
 func TestFixtures(t *testing.T) {

@@ -41,6 +41,11 @@ type Module struct {
 	// module calls Close/Stop/Shutdown: "pkgpath.Type.field" -> witness.
 	// life-leak uses it as the per-type must-release summary.
 	releasedFields map[string]token.Position
+
+	// conc is the lazily built concurrency call graph (channel summaries,
+	// blocking descriptions, spawn sites) shared by the stage-4 analyzers.
+	// Analyzers run sequentially, so no locking around the build.
+	conc *concGraph
 }
 
 // modFunc is one declared function with its interprocedural summaries.
@@ -111,7 +116,8 @@ func NewModule(pkgs []*Package) *Module {
 
 // inModuleScope limits module-analyzer reporting to the packages whose
 // concurrency discipline the repo owns: everything under internal/ plus the
-// command mains. Unlike lock-send, internal/transport is in scope — its
+// command mains. Unlike block-lock's mutex half, internal/transport is in
+// scope — its
 // mutex nesting and goroutine lifecycles are exactly what lock-order and
 // life-leak exist to prove.
 func inModuleScope(path string) bool {
@@ -135,6 +141,9 @@ func ModuleAnalyzers() []*ModuleAnalyzer {
 		HotAlloc(),
 		WireCompat(),
 		AtomicMix(),
+		BlockLock(),
+		ChanProto(),
+		ShutdownProp(),
 	}
 }
 
@@ -421,6 +430,9 @@ func (w *bodyWalker) stmt(s ast.Stmt, st *lockState) {
 	case *ast.SendStmt:
 		w.expr(s.Chan, st)
 		w.expr(s.Value, st)
+		if w.ev.onNode != nil {
+			w.ev.onNode(s, st)
+		}
 	case *ast.ReturnStmt:
 		for _, e := range s.Results {
 			w.expr(e, st)
@@ -472,6 +484,9 @@ func (w *bodyWalker) stmt(s ast.Stmt, st *lockState) {
 		w.stmt(s.Assign, st)
 		w.clauses(s.Body, st, false)
 	case *ast.SelectStmt:
+		if w.ev.onNode != nil {
+			w.ev.onNode(s, st)
+		}
 		// A select always runs exactly one clause.
 		w.clauses(s.Body, st, true)
 	}

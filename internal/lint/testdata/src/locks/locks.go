@@ -1,5 +1,6 @@
-// Package locks exercises the lock-send rule. Loaded by lint_test.go under
-// a path in lock scope.
+// Package locks exercises the mutex half of the block-lock rule (the
+// classic cases inherited from the retired lock-send linear walk). Loaded
+// by lint_test.go under a path in lock scope.
 package locks
 
 import (
@@ -21,38 +22,38 @@ type node struct {
 
 func (n *node) badSend() {
 	n.mu.Lock()
-	_ = n.c.Send("a", nil, 0) // want "lock-send.*a Send while n.mu is held"
+	_ = n.c.Send("a", nil, 0) // want "block-lock.*a Send while locks.node.mu is held"
 	n.mu.Unlock()
 }
 
 func (n *node) badRLock() {
 	n.rw.RLock()
-	_ = n.c.Send("a", nil, 0) // want "lock-send.*n.rw is held"
+	_ = n.c.Send("a", nil, 0) // want "block-lock.*a Send while locks.node.rw is held"
 	n.rw.RUnlock()
 }
 
 func (n *node) badChannel() {
 	n.mu.Lock()
-	n.ch <- 1 // want "lock-send.*channel send"
-	<-n.ch    // want "lock-send.*channel receive"
+	n.ch <- 1 // want "block-lock.*channel send while locks.node.mu is held"
+	<-n.ch    // want "block-lock.*channel receive while locks.node.mu is held"
 	n.mu.Unlock()
 }
 
 func (n *node) badSleep() {
 	n.mu.Lock()
-	time.Sleep(time.Millisecond) // want "lock-send.*time.Sleep"
+	time.Sleep(time.Millisecond) // want "block-lock.*time.Sleep while locks.node.mu is held"
 	n.mu.Unlock()
 }
 
 func (n *node) badWait() {
 	n.mu.Lock()
-	n.wg.Wait() // want "lock-send.*WaitGroup.Wait"
+	n.wg.Wait() // want "block-lock.*WaitGroup.Wait while locks.node.mu is held"
 	n.mu.Unlock()
 }
 
 func (n *node) badSelect() {
 	n.mu.Lock()
-	select { // want "lock-send.*select with no default"
+	select { // want "block-lock.*select with no default"
 	case v := <-n.ch:
 		_ = v
 	}
@@ -67,7 +68,7 @@ func (n *node) helper() {
 // propagates helper's Send to the locked call site.
 func (n *node) badIndirect() {
 	n.mu.Lock()
-	n.helper() // want "lock-send.*call to helper .which performs a Send"
+	n.helper() // want "block-lock.*call to helper .which performs a Send"
 	n.mu.Unlock()
 }
 

@@ -1,0 +1,140 @@
+// Package shutdownprop exercises the static shutdown-propagation analyzer.
+// Every goroutine here is joinable (WaitGroup.Add before the spawn, Done in
+// the body — life-leak's obligation), but joinable is not stoppable: the
+// bad cases loop forever with nothing that can make them exit, so the
+// owner's Close blocks on wg.Wait for good.
+package shutdownprop
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+type srv struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	dead chan struct{} // never closed, never sent on: a deaf signal
+}
+
+func newSrv() *srv {
+	return &srv{
+		done: make(chan struct{}),
+		dead: make(chan struct{}),
+	}
+}
+
+func (s *srv) Close() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+// badSpin spins with no exit at all.
+func (s *srv) badSpin() {
+	s.wg.Add(1)
+	go func() { // want "shutdown-prop.*goroutine spawned by badSpin loops forever with no reachable stop signal"
+		defer s.wg.Done()
+		for {
+		}
+	}()
+}
+
+// badDeafLoop waits on a channel the module never closes or sends on: the
+// receive looks like a done-channel but nothing can ever fire it.
+func (s *srv) badDeafLoop() {
+	s.wg.Add(1)
+	go func() { // want "shutdown-prop.*goroutine spawned by badDeafLoop loops forever with no reachable stop signal"
+		defer s.wg.Done()
+		for range s.dead {
+		}
+	}()
+}
+
+// badNamed spawns a declared method; the analyzer follows the callee body.
+func (s *srv) badNamed() {
+	s.wg.Add(1)
+	go s.spin() // want "shutdown-prop.*goroutine spawned by badNamed loops forever with no reachable stop signal"
+}
+
+func (s *srv) spin() {
+	defer s.wg.Done()
+	for {
+	}
+}
+
+// okDone hears the done channel Close closes.
+func (s *srv) okDone() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+}
+
+// okTicker ranges an external channel (time.Ticker.C): Stop is outside the
+// module's view, so it is assumed stoppable.
+func (s *srv) okTicker(t *time.Ticker) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for range t.C {
+		}
+	}()
+}
+
+// okCtx polls the context each round.
+func (s *srv) okCtx(ctx context.Context) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+}
+
+// okOneShot runs to completion on its own: no endless loop, nothing to
+// prove.
+func (s *srv) okOneShot(v int) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = v * 2
+	}()
+}
+
+// --- closable I/O ---------------------------------------------------------
+
+type tail struct {
+	wg sync.WaitGroup
+	f  *os.File
+}
+
+// run blocks on a file the owner closes: Close unblocks the Read with an
+// error and the loop's exit path takes it.
+func (t *tail) run() {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		buf := make([]byte, 64)
+		for {
+			if _, err := t.f.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func (t *tail) Close() {
+	_ = t.f.Close()
+	t.wg.Wait()
+}

@@ -375,7 +375,7 @@ func (h *Host) fanout(payload any, except string) {
 // send queues a delivery on the callback queue, so the actual endpoint
 // Send runs after h.mu is released (a Send can block over a real
 // transport; holding the lock across it invites distributed deadlock —
-// cscwlint's lock-send rule enforces the discipline). Queued sends flush
+// cscwlint's block-lock rule enforces the discipline). Queued sends flush
 // in order, preserving the per-peer FIFO the clients rely on.
 func (h *Host) send(to string, payload any, size int) {
 	h.stamp(payload)

@@ -47,7 +47,7 @@ func NewMultiHost(ep fabric.Endpoint, mode Mode, clock func() time.Duration, own
 
 // receive demultiplexes one wire message. The per-document Host.Receive
 // runs outside mh.mu: a host receive can queue endpoint sends, and those
-// must never happen under a lock (the lock-send discipline).
+// must never happen under a lock (the block-lock discipline).
 func (mh *MultiHost) receive(from string, payload any) {
 	doc := DocOf(payload)
 	if mh.owns != nil && !mh.owns(doc) {
